@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover verify repro clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Verify every headline claim of the paper (PASS/FAIL, nonzero exit on FAIL).
+verify:
+	$(GO) run ./cmd/report
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/measure -all -intervals 20
+	$(GO) run ./cmd/evaluate -all -runs 20
+	$(GO) run ./cmd/sensitivity -all -runs 10
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,176 @@
+// Command detectd runs a detection scheme over a PCM counter stream read
+// from stdin — the deployment shape of the paper's system: a
+// hypervisor-side process consuming `t,access,miss` CSV lines (easily
+// produced from Intel PCM or a perf wrapper) and emitting alarm events.
+//
+// The first -profile-seconds of the stream serve as the Stage-1 profile
+// (the VM must be known attack-free during that window, e.g. right after
+// placement); everything after is monitored.
+//
+//	# replay a recorded stream
+//	detectd -scheme sds < samples.csv
+//
+//	# record a simulated stream, then detect over it
+//	detectd -record 120 -app facenet > samples.csv
+//	detectd -scheme sdsp < samples.csv
+//
+// With -json each alarm is emitted as one JSON object per line; the final
+// summary goes to stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/memdos/sds"
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/feed"
+	"github.com/memdos/sds/internal/pcm"
+)
+
+func main() {
+	var (
+		scheme         = flag.String("scheme", "sds", "detection scheme: sds, sdsb, sdsp or kstest")
+		profileSeconds = flag.Float64("profile-seconds", 900, "leading stream seconds used as the Stage-1 profile")
+		appName        = flag.String("app", "monitored-vm", "application name for the profile")
+		jsonOut        = flag.Bool("json", false, "emit alarms as JSON lines")
+		record         = flag.Float64("record", 0, "instead of detecting, record this many seconds of simulated telemetry for -app to stdout")
+		attackAt       = flag.Float64("attack-at", 0, "with -record: start a bus-locking attack at this time (0 = none)")
+		seed           = flag.Uint64("seed", 1, "simulation seed for -record")
+	)
+	flag.Parse()
+	var err error
+	if *record > 0 {
+		err = runRecord(*appName, *record, *attackAt, *seed)
+	} else {
+		err = runDetect(os.Stdin, os.Stdout, *scheme, *appName, *profileSeconds, *jsonOut)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detectd:", err)
+		os.Exit(1)
+	}
+}
+
+// runRecord writes a simulated telemetry stream to stdout in feed format.
+func runRecord(app string, seconds, attackAt float64, seed uint64) error {
+	model, err := sds.NewApplication(app, seed)
+	if err != nil {
+		return err
+	}
+	sched := sds.AttackSchedule{}
+	if attackAt > 0 {
+		sched = sds.AttackSchedule{Kind: sds.BusLockAttack, Start: attackAt, Ramp: 10}
+	}
+	w := feed.NewWriter(os.Stdout)
+	cfg := sds.DefaultConfig()
+	n := int(seconds / cfg.TPCM)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * cfg.TPCM
+		a, m := model.Sample(cfg.TPCM, sched.Env(now, false))
+		if err := w.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// runDetect profiles on the stream head and detects over the rest.
+func runDetect(in io.Reader, out io.Writer, scheme, app string, profileSeconds float64, jsonOut bool) error {
+	if profileSeconds <= 0 {
+		return fmt.Errorf("profile window must be positive, got %v", profileSeconds)
+	}
+	cfg := sds.DefaultConfig()
+	reader := feed.NewReader(in)
+
+	// Stage 1: accumulate the profile window.
+	var profileSamples []sds.Sample
+	var cutoff float64
+	for {
+		s, err := reader.Next()
+		if err == io.EOF {
+			return fmt.Errorf("stream ended during the %g s profiling window (%d samples)", profileSeconds, len(profileSamples))
+		}
+		if err != nil {
+			return err
+		}
+		if len(profileSamples) == 0 {
+			cutoff = s.T + profileSeconds
+		}
+		profileSamples = append(profileSamples, s)
+		if s.T >= cutoff {
+			break
+		}
+	}
+	profile, err := sds.BuildProfile(app, profileSamples, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "detectd: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)\n",
+		app, len(profileSamples), profile.MeanAccess, profile.StdAccess, profile.Periodic)
+
+	det, err := buildDetector(scheme, profile, cfg)
+	if err != nil {
+		return err
+	}
+	guard := detect.NewSanitizer(det)
+
+	// Stage 2: stream detection.
+	enc := json.NewEncoder(out)
+	seen := 0
+	emitted := 0
+	for {
+		s, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		seen++
+		guard.Observe(s)
+		for _, alarm := range guard.Alarms()[emitted:] {
+			emitted++
+			if jsonOut {
+				if err := enc.Encode(alarmEvent{
+					T:        alarm.T,
+					Detector: alarm.Detector,
+					Metric:   alarm.Metric.String(),
+					Reason:   alarm.Reason,
+				}); err != nil {
+					return err
+				}
+			} else {
+				fmt.Fprintf(out, "[%10.2fs] ALARM %s (%s): %s\n", alarm.T, alarm.Detector, alarm.Metric, alarm.Reason)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "detectd: %d samples monitored, %d dropped as malformed, %d alarms, final state alarmed=%v\n",
+		seen, guard.Dropped(), emitted, guard.Alarmed())
+	return nil
+}
+
+// alarmEvent is the JSON wire format of one alarm.
+type alarmEvent struct {
+	T        float64 `json:"t"`
+	Detector string  `json:"detector"`
+	Metric   string  `json:"metric"`
+	Reason   string  `json:"reason"`
+}
+
+func buildDetector(scheme string, profile sds.Profile, cfg sds.Config) (sds.Detector, error) {
+	switch scheme {
+	case "sds":
+		return sds.NewSDS(profile, cfg)
+	case "sdsb":
+		return sds.NewSDSB(profile, cfg)
+	case "sdsp":
+		return sds.NewSDSP(profile, cfg)
+	case "kstest":
+		return sds.NewKSTest(sds.DefaultKSTestConfig(), nil)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp or kstest)", scheme)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds"
+	"github.com/memdos/sds/internal/feed"
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// recordStream builds an in-memory CSV stream: profileSeconds attack-free,
+// then an attack until the end.
+func recordStream(t *testing.T, app string, seconds, attackAt float64) *bytes.Buffer {
+	t.Helper()
+	model, err := sds.NewApplication(app, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sds.AttackSchedule{Kind: sds.BusLockAttack, Start: attackAt, Ramp: 10}
+	var buf bytes.Buffer
+	w := feed.NewWriter(&buf)
+	cfg := sds.DefaultConfig()
+	n := int(seconds / cfg.TPCM)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * cfg.TPCM
+		a, m := model.Sample(cfg.TPCM, sched.Env(now, false))
+		if err := w.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRunDetectTextOutput(t *testing.T) {
+	in := recordStream(t, sds.KMeans, 1400, 1100)
+	var out bytes.Buffer
+	if err := runDetect(in, &out, "sds", sds.KMeans, 900, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ALARM") {
+		t.Fatalf("no alarm emitted:\n%s", text)
+	}
+}
+
+func TestRunDetectJSONOutput(t *testing.T) {
+	in := recordStream(t, sds.KMeans, 1400, 1100)
+	var out bytes.Buffer
+	if err := runDetect(in, &out, "sdsb", sds.KMeans, 900, true); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	attackEvents := 0
+	for sc.Scan() {
+		var ev alarmEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Detector == "" || ev.Reason == "" || ev.Metric == "" {
+			t.Fatalf("incomplete event %+v", ev)
+		}
+		// Rare pre-attack false alarms are part of the model; the attack
+		// itself must be among the events.
+		if ev.T >= 1100 {
+			attackEvents++
+		}
+	}
+	if attackEvents == 0 {
+		t.Fatal("no JSON event for the attack")
+	}
+}
+
+func TestRunDetectErrors(t *testing.T) {
+	if err := runDetect(strings.NewReader(""), &bytes.Buffer{}, "sds", "x", 900, false); err == nil {
+		t.Error("empty stream accepted")
+	}
+	in := recordStream(t, sds.KMeans, 1000, 0)
+	if err := runDetect(in, &bytes.Buffer{}, "bogus", sds.KMeans, 900, false); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := runDetect(strings.NewReader("0.01,1,0\n"), &bytes.Buffer{}, "sds", "x", 0, false); err == nil {
+		t.Error("zero profile window accepted")
+	}
+}
+
+func TestBuildDetectorSchemes(t *testing.T) {
+	cfg := sds.DefaultConfig()
+	prof, err := sds.CollectProfile(sds.FaceNet, 1, 900, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"sds", "sdsb", "sdsp", "kstest"} {
+		if _, err := buildDetector(scheme, prof, cfg); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+	if _, err := buildDetector("nope", prof, cfg); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Command evaluate reproduces the paper's evaluation (§5.2):
+//
+//	evaluate -fig9     recall per application, attack and scheme
+//	evaluate -fig10    specificity
+//	evaluate -fig11    detection delay
+//	evaluate -fig12    performance overhead (normalized execution time)
+//	evaluate -table1   the SDS parameters in effect
+//	evaluate -all      everything
+//
+// The accuracy figures share one experiment pass, so -fig9 -fig10 -fig11
+// together cost the same as any one of them. Use -runs to trade precision
+// for time (the paper uses 20 runs per cell).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func main() {
+	var (
+		fig9   = flag.Bool("fig9", false, "recall results")
+		fig10  = flag.Bool("fig10", false, "specificity results")
+		fig11  = flag.Bool("fig11", false, "detection delay results")
+		fig12  = flag.Bool("fig12", false, "performance overhead results")
+		table1 = flag.Bool("table1", false, "print the SDS parameters (Table 1)")
+		ablate = flag.Bool("ablation", false, "DFT-only vs ACF-only vs DFT-ACF period estimation (§4.2.2 motivation)")
+		all    = flag.Bool("all", false, "run the full evaluation")
+		runs   = flag.Int("runs", 20, "runs per cell")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		apps   = flag.String("apps", "", "comma-separated application subset (default: all)")
+	)
+	flag.Parse()
+	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string) error {
+	cfg := experiment.DefaultConfig()
+	cfg.Runs = runs
+	cfg.Seed = seed
+
+	var apps []string
+	if appsFlag != "" {
+		for _, a := range strings.Split(appsFlag, ",") {
+			apps = append(apps, strings.TrimSpace(a))
+		}
+	} else {
+		apps = workload.AppNames()
+	}
+
+	if table1 {
+		printTable1(cfg)
+	}
+	if ablate {
+		if err := runAblation(cfg); err != nil {
+			return err
+		}
+	}
+
+	if fig9 || fig10 || fig11 {
+		cells, err := cfg.Accuracy(apps)
+		if err != nil {
+			return err
+		}
+		if fig9 {
+			renderAccuracy("Fig. 9 — recall (%), median [p10, p90] over runs; paper: medians 100% everywhere",
+				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
+					return c.Recall.Median, c.Recall.P10, c.Recall.P90
+				})
+		}
+		if fig10 {
+			renderAccuracy("Fig. 10 — specificity (%); paper: SDS 90–100, KStest 30–80, SDS/B 94–97, SDS/P 93–94",
+				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
+					return c.Specificity.Median, c.Specificity.P10, c.Specificity.P90
+				})
+		}
+		if fig11 {
+			renderAccuracy("Fig. 11 — detection delay (s); paper: SDS 15–30, KStest 20–50",
+				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
+					return c.Delay.Median, c.Delay.P10, c.Delay.P90
+				})
+		}
+	}
+
+	if fig12 {
+		cells, err := cfg.Overhead(apps)
+		if err != nil {
+			return err
+		}
+		tb := experiment.Table{
+			Title:  "Fig. 12 — normalized execution time; paper: SDS 1.01–1.02, KStest 1.03–1.08",
+			Header: []string{"application", "scheme", "normalized [p10, p90]"},
+		}
+		for _, c := range cells {
+			tb.AddRow(c.App, string(c.Scheme),
+				fmt.Sprintf("%.3f [%.3f, %.3f]", c.Normalized.Median, c.Normalized.P10, c.Normalized.P90))
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func renderAccuracy(title string, cells []experiment.AccuracyCell, pick func(experiment.AccuracyCell) (med, p10, p90 float64)) {
+	for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+		tb := experiment.Table{
+			Title:  fmt.Sprintf("%s — %s attack", title, kind),
+			Header: []string{"application", "scheme", "median [p10, p90]"},
+		}
+		for _, c := range cells {
+			if c.Attack != kind {
+				continue
+			}
+			med, p10, p90 := pick(c)
+			tb.AddRow(c.App, string(c.Scheme), fmt.Sprintf("%.1f [%.1f, %.1f]", med, p10, p90))
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "render:", err)
+			return
+		}
+		fmt.Println()
+	}
+}
+
+func runAblation(cfg experiment.Config) error {
+	results, err := cfg.PeriodEstimatorAblation(500)
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  "§4.2.2 motivation — period-estimator ablation (500 planted-period + 500 trended-noise trials)",
+		Header: []string{"method", "correct", "multiple-of-period errors", "other errors", "false detections on noise"},
+	}
+	for _, r := range results {
+		tb.AddRow(r.Method,
+			fmt.Sprintf("%.0f%%", 100*r.Correct),
+			fmt.Sprintf("%.0f%%", 100*r.MultipleErrors),
+			fmt.Sprintf("%.0f%%", 100*r.OtherErrors),
+			fmt.Sprintf("%.0f%%", 100*r.FalseDetections))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTable1(cfg experiment.Config) {
+	d := cfg.Detect
+	tb := experiment.Table{
+		Title:  "Table 1 — SDS parameters",
+		Header: []string{"parameter", "value"},
+	}
+	tb.AddRow("T_PCM", d.TPCM)
+	tb.AddRow("window size W of raw data", d.W)
+	tb.AddRow("sliding step size ΔW", d.DW)
+	tb.AddRow("EWMA smooth factor α", d.Alpha)
+	tb.AddRow("upper bound", fmt.Sprintf("μ + %gσ", d.K))
+	tb.AddRow("lower bound", fmt.Sprintf("μ − %gσ", d.K))
+	tb.AddRow("consecutive violation threshold H_C", d.HC)
+	tb.AddRow("window size W_P in SDS/P", fmt.Sprintf("%d · period", d.WPFactor))
+	tb.AddRow("sliding step size ΔW_P in SDS/P", d.DWP)
+	tb.AddRow("consecutive period change threshold H_P", d.HP)
+	if err := tb.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "render:", err)
+	}
+	fmt.Println()
+}

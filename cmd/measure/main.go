@@ -1,0 +1,504 @@
+// Command measure reproduces the paper's measurement study (§3):
+//
+//	measure -falsealarms   §3.2 KStest false-alarm rates per application
+//	measure -fig1          Fig. 1: KStest 0/1 check series on TeraSort
+//	measure -traces        Figs. 2–6: attack impact on every application
+//	measure -fig7          Fig. 7: SDS/B walk-through on k-means
+//	measure -fig8          Fig. 8: SDS/P walk-through on FaceNet
+//	measure -exploration   §3.4: the rejected correlation approaches
+//	measure -defense       §2.3: way partitioning vs both attacks
+//	measure -migration     intro/§6: migration against a re-co-locating attacker
+//	measure -microsim      first-principles check on the cache/bus simulator
+//	measure -microdetect   end-to-end SDS/B over simulated hardware counters
+//	measure -interference  §6: benign noisy-neighbour detection
+//	measure -all           everything above
+//
+// Use -csvdir to additionally export raw series as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/membus"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/timeseries"
+	"github.com/memdos/sds/internal/vmm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func main() {
+	var (
+		fig1        = flag.Bool("fig1", false, "Fig. 1: KStest intervals on TeraSort without attack")
+		falseAlarms = flag.Bool("falsealarms", false, "§3.2: KStest false-alarm rate per application")
+		traces      = flag.Bool("traces", false, "Figs. 2–6: attack-impact traces for every application")
+		fig7        = flag.Bool("fig7", false, "Fig. 7: SDS/B detection example on k-means")
+		fig8        = flag.Bool("fig8", false, "Fig. 8: SDS/P detection example on FaceNet")
+		exploration = flag.Bool("exploration", false, "§3.4: rejected correlation approaches")
+		defense     = flag.Bool("defense", false, "§2.3: cache partitioning stops cleansing but not bus locking")
+		migration   = flag.Bool("migration", false, "intro/§6: migration-on-alarm with attacker re-co-location")
+		microsim    = flag.Bool("microsim", false, "micro-architectural first-principles check")
+		microdetect = flag.Bool("microdetect", false, "end-to-end SDS/B detection on the micro-architectural simulator")
+		interfere   = flag.Bool("interference", false, "§6: benign noisy-neighbour interference detection")
+		all         = flag.Bool("all", false, "run every measurement")
+		seed        = flag.Uint64("seed", 1, "experiment seed")
+		intervals   = flag.Int("intervals", 20, "number of L_R intervals for the KStest studies")
+		csvdir      = flag.String("csvdir", "", "directory for CSV exports (optional)")
+	)
+	flag.Parse()
+	if !(*fig1 || *falseAlarms || *traces || *fig7 || *fig8 || *exploration || *defense || *migration || *microsim || *microdetect || *interfere || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(runFlags{
+		fig1:        *fig1 || *all,
+		falseAlarms: *falseAlarms || *all,
+		traces:      *traces || *all,
+		fig7:        *fig7 || *all,
+		fig8:        *fig8 || *all,
+		exploration: *exploration || *all,
+		defense:     *defense || *all,
+		migration:   *migration || *all,
+		microsim:    *microsim || *all,
+		microdetect: *microdetect || *all,
+		interfere:   *interfere || *all,
+	}, *seed, *intervals, *csvdir); err != nil {
+		fmt.Fprintln(os.Stderr, "measure:", err)
+		os.Exit(1)
+	}
+}
+
+type runFlags struct {
+	fig1, falseAlarms, traces, fig7, fig8, exploration, defense, migration, microsim, microdetect, interfere bool
+}
+
+func run(flags runFlags, seed uint64, intervals int, csvdir string) error {
+	cfg := experiment.DefaultConfig()
+	cfg.Seed = seed
+
+	if flags.fig1 {
+		if err := runFig1(cfg, intervals); err != nil {
+			return err
+		}
+	}
+	if flags.falseAlarms {
+		if err := runFalseAlarms(cfg, intervals); err != nil {
+			return err
+		}
+	}
+	if flags.traces {
+		if err := runTraces(cfg, csvdir); err != nil {
+			return err
+		}
+	}
+	if flags.fig7 {
+		if err := runFig7(cfg, csvdir); err != nil {
+			return err
+		}
+	}
+	if flags.fig8 {
+		if err := runFig8(cfg, csvdir); err != nil {
+			return err
+		}
+	}
+	if flags.exploration {
+		if err := runExploration(cfg); err != nil {
+			return err
+		}
+	}
+	if flags.defense {
+		if err := runDefense(cfg); err != nil {
+			return err
+		}
+	}
+	if flags.migration {
+		if err := runMigration(cfg); err != nil {
+			return err
+		}
+	}
+	if flags.microsim {
+		if err := runMicrosim(); err != nil {
+			return err
+		}
+	}
+	if flags.microdetect {
+		if err := runMicroDetect(seed); err != nil {
+			return err
+		}
+	}
+	if flags.interfere {
+		if err := runInterference(seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runInterference reproduces the §6 broader-impact scenario: a benign but
+// cache-hungry neighbour lands next to each protected VM.
+func runInterference(seed uint64) error {
+	results, err := experiment.MicroConfig{Seed: seed}.InterferenceStudyAll(nil)
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  "§6 — benign noisy-neighbour interference (micro-architectural simulator)",
+		Header: []string{"application", "miss rate before", "miss rate during", "detected", "delay (s)"},
+	}
+	for _, r := range results {
+		delay := "-"
+		if r.Delay >= 0 {
+			delay = fmt.Sprintf("%.2f", r.Delay)
+		}
+		tb.AddRow(r.App, fmt.Sprintf("%.4f", r.MissRateBefore), fmt.Sprintf("%.4f", r.MissRateDuring),
+			fmt.Sprintf("%v", r.Detected), delay)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("  → SDS flags benign contention too; the provider can respond (e.g. migrate) — §6.")
+	fmt.Println()
+	return nil
+}
+
+// runMicroDetect runs the end-to-end pipeline — simulated hardware, PCM
+// monitor, Stage-1 profiling, SDS/B — for every application and attack, at
+// 1/10 time scale.
+func runMicroDetect(seed uint64) error {
+	tb := experiment.Table{
+		Title:  "End-to-end SDS/B on the micro-architectural simulator (1/10 time scale)",
+		Header: []string{"application", "attack", "detected", "delay (s)", "false alarms"},
+	}
+	for _, app := range workload.AppNames() {
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			res, err := experiment.MicroConfig{App: app, AttackKind: kind, Seed: seed}.MicroDetectionRun()
+			if err != nil {
+				return err
+			}
+			delay := "-"
+			if res.Detected {
+				delay = fmt.Sprintf("%.2f", res.Delay)
+			}
+			tb.AddRow(app, kind.String(), fmt.Sprintf("%v", res.Detected), delay, res.FalseAlarms)
+		}
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDefense(cfg experiment.Config) error {
+	results, err := cfg.DefenseStudy()
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  "§2.3 — way-partitioning defense vs both attacks (micro-architectural simulator)",
+		Header: []string{"attack", "partitioned", "victim miss rate", "victim access rate (/s)", "victim progress"},
+	}
+	for _, r := range results {
+		tb.AddRow(r.Attack.String(), fmt.Sprintf("%v", r.Partitioned),
+			fmt.Sprintf("%.4f", r.MissRate),
+			fmt.Sprintf("%.3g", r.AccessRate),
+			fmt.Sprintf("%.0f%%", 100*r.ProgressRatio))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("  → partitioning suppresses LLC cleansing but cannot unblock the locked bus (§2.3).")
+	fmt.Println()
+	return nil
+}
+
+func runMigration(cfg experiment.Config) error {
+	study := experiment.MigrationStudyConfig{} // defaults: 30 min, k-means, bus locking
+	rows := []struct {
+		policy experiment.MigrationPolicy
+		scheme experiment.Scheme
+	}{
+		{experiment.PolicyNone, ""},
+		{experiment.PolicyOnAlarm, experiment.SchemeKSTest},
+		{experiment.PolicyOnAlarm, experiment.SchemeSDS},
+	}
+	tb := experiment.Table{
+		Title:  "intro/§6 — VM migration against a re-co-locating attacker (30 min scenario)",
+		Header: []string{"policy", "detector", "time under attack", "avg slowdown", "migrations", "false migrations"},
+	}
+	for _, row := range rows {
+		r, err := cfg.MigrationStudy(study, row.policy, row.scheme)
+		if err != nil {
+			return err
+		}
+		det := string(r.Scheme)
+		if det == "" {
+			det = "-"
+		}
+		tb.AddRow(string(r.Policy), det,
+			fmt.Sprintf("%.0f%%", 100*r.UnderAttackFrac),
+			fmt.Sprintf("%.0f%%", 100*r.AvgSlowdown),
+			r.Migrations, r.FalseMigrations)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("  → migration alone cannot end the threat (the attacker re-co-locates in minutes);")
+	fmt.Println("    fast detection bounds the victim's exposure per co-location.")
+	fmt.Println()
+	return nil
+}
+
+func runExploration(cfg experiment.Config) error {
+	results, err := cfg.ExplorationStudy(nil)
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  "§3.4 — rejected approaches: correlation statistics before → during attack (no usable drop)",
+		Header: []string{"application", "attack", "pearson", "cross-corr", "coherence"},
+	}
+	for _, r := range results {
+		tb.AddRow(r.App, r.Attack.String(),
+			fmt.Sprintf("%.2f → %.2f", r.PearsonBefore, r.PearsonAfter),
+			fmt.Sprintf("%.2f → %.2f", r.CrossCorrBefore, r.CrossCorrAfter),
+			fmt.Sprintf("%.2f → %.2f", r.CoherenceBefore, r.CoherenceAfter))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig1(cfg experiment.Config, intervals int) error {
+	ivs, err := cfg.KStestIntervals(workload.TeraSort, intervals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 1 — KStest on TeraSort, no attack (%d L_R intervals of %.0f s)\n", intervals, cfg.KSTest.LR)
+	declared := 0
+	for _, iv := range ivs {
+		marks := make([]byte, len(iv.Checks))
+		for i, rejected := range iv.Checks {
+			marks[i] = '0'
+			if rejected {
+				marks[i] = '1'
+			}
+		}
+		verdict := " "
+		if iv.Declared {
+			verdict = "ATTACK DECLARED (false positive)"
+			declared++
+		}
+		fmt.Printf("  interval %2d: %s  %s\n", iv.Index, marks, verdict)
+	}
+	fmt.Printf("  → %d/%d intervals (%.0f%%) falsely declare an attack; the paper reports >60%%.\n\n",
+		declared, len(ivs), 100*float64(declared)/float64(len(ivs)))
+	return nil
+}
+
+func runFalseAlarms(cfg experiment.Config, intervals int) error {
+	res, err := cfg.KStestFalseAlarms(nil, intervals)
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  fmt.Sprintf("§3.2 — KStest false-alarm rate without attack (%d intervals)", intervals),
+		Header: []string{"application", "declared", "rate", "paper"},
+	}
+	for _, r := range res {
+		paper := experiment.PaperKStestFalseAlarmRate[r.App]
+		tb.AddRow(r.App, fmt.Sprintf("%d/%d", r.Declared, r.Intervals),
+			fmt.Sprintf("%.0f%%", 100*r.Rate), fmt.Sprintf("%.0f%%", 100*paper))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTraces(cfg experiment.Config, csvdir string) error {
+	tb := experiment.Table{
+		Title:  "Figs. 2–6 — attack impact (120 s runs, attack at 60 s)",
+		Header: []string{"application", "attack", "metric", "mean before", "mean after", "change", "period before", "period after"},
+	}
+	for _, app := range workload.AppNames() {
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			tr, err := cfg.AttackTrace(app, kind, 120)
+			if err != nil {
+				return err
+			}
+			change := fmt.Sprintf("%+.0f%%", 100*(tr.MeanAfter/tr.MeanBefore-1))
+			pb, pa := "-", "-"
+			if tr.PeriodBefore > 0 {
+				pb = fmt.Sprint(tr.PeriodBefore)
+			}
+			if tr.PeriodAfter > 0 {
+				pa = fmt.Sprint(tr.PeriodAfter)
+			}
+			tb.AddRow(app, tr.Attack.String(), tr.Metric.String(),
+				fmt.Sprintf("%.3g", tr.MeanBefore), fmt.Sprintf("%.3g", tr.MeanAfter), change, pb, pa)
+			if csvdir != "" {
+				name := fmt.Sprintf("trace_%s_%s.csv", app, strings.ReplaceAll(kind.String(), "-", ""))
+				if err := writeCSV(csvdir, name, []string{"t", strings.ToLower(tr.Metric.String())}, tr.T, tr.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig7(cfg experiment.Config, csvdir string) error {
+	res, err := cfg.SDSBExample(workload.KMeans, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 7 — SDS/B on k-means (bus locking at %.0f s)\n", res.AttackStart)
+	fmt.Printf("  normal range: [%.4g, %.4g]\n", res.Lower, res.Upper)
+	if res.AlarmWindow >= 0 {
+		fmt.Printf("  alarm at window %d (t=%.1f s, %.1f s after attack start)\n\n",
+			res.AlarmWindow, res.AlarmTime, res.AlarmTime-res.AttackStart)
+	} else {
+		fmt.Printf("  no alarm raised\n\n")
+	}
+	if csvdir != "" {
+		t := make([]float64, len(res.Windows))
+		ewma := make([]float64, len(res.Windows))
+		for i, w := range res.Windows {
+			t[i] = w.T
+			ewma[i] = w.EWMAAccess
+		}
+		return writeCSV(csvdir, "fig7_kmeans_ewma.csv", []string{"t", "ewma_access"}, t, ewma)
+	}
+	return nil
+}
+
+func runFig8(cfg experiment.Config, csvdir string) error {
+	res, err := cfg.SDSPExample(workload.FaceNet, 300)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 8 — SDS/P on FaceNet (bus locking at %.0f s)\n", res.AttackStart)
+	fmt.Printf("  normal period: %d MA windows (paper: ≈%d)\n", res.NormalPeriod, experiment.PaperFaceNetPeriod)
+	fmt.Print("  computed periods: ")
+	for _, e := range res.Estimates {
+		if e.Found {
+			fmt.Printf("%d ", e.Period)
+		} else {
+			fmt.Print("? ")
+		}
+	}
+	fmt.Println()
+	if res.AlarmTime >= 0 {
+		fmt.Printf("  alarm at t=%.1f s (%.1f s after attack start)\n\n", res.AlarmTime, res.AlarmTime-res.AttackStart)
+	} else {
+		fmt.Printf("  no alarm raised\n\n")
+	}
+	if csvdir != "" {
+		t := make([]float64, len(res.Estimates))
+		period := make([]float64, len(res.Estimates))
+		for i, e := range res.Estimates {
+			t[i] = e.T
+			period[i] = float64(e.Period)
+		}
+		return writeCSV(csvdir, "fig8_facenet_period.csv", []string{"t", "period"}, t, period)
+	}
+	return nil
+}
+
+// runMicrosim demonstrates Observations (1) and (2) on the
+// micro-architectural simulator rather than the telemetry models.
+func runMicrosim() error {
+	fmt.Println("Micro-architectural check — shared LLC + bus, access streams")
+
+	measure := func(extra vmm.Workload) (accessRate, missRate float64, err error) {
+		cache, err := cachesim.New(cachesim.Config{SizeBytes: 512 * 1024, LineSize: 64, Ways: 8})
+		if err != nil {
+			return 0, 0, err
+		}
+		bus, err := membus.New(2e6, 0.95)
+		if err != nil {
+			return 0, 0, err
+		}
+		m, err := vmm.NewMachine(cache, bus)
+		if err != nil {
+			return 0, 0, err
+		}
+		victim, err := workload.NewLoop("victim", 0, 64*1024, 5e5, randx.New(1, 2))
+		if err != nil {
+			return 0, 0, err
+		}
+		vvm, err := m.AddVM("victim", victim)
+		if err != nil {
+			return 0, 0, err
+		}
+		if extra != nil {
+			if _, err := m.AddVM(extra.Name(), extra); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := m.Run(10, 0.01); err != nil {
+			return 0, 0, err
+		}
+		st, err := m.CacheStats(vvm.ID())
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(st.Accesses) / 10, float64(st.Misses) / float64(st.Accesses), nil
+	}
+
+	baseA, baseM, err := measure(nil)
+	if err != nil {
+		return err
+	}
+	locker, err := attack.NewBusLocker(0, 0.9, randx.New(3, 4))
+	if err != nil {
+		return err
+	}
+	lockA, _, err := measure(locker)
+	if err != nil {
+		return err
+	}
+	cleanser, err := attack.NewCleanser(0, 1e6, randx.New(5, 6))
+	if err != nil {
+		return err
+	}
+	_, cleanseM, err := measure(cleanser)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("  victim LLC access rate: %.3g/s alone → %.3g/s under bus locking (%.0f%% drop)\n",
+		baseA, lockA, 100*(1-lockA/baseA))
+	fmt.Printf("  victim miss rate:       %.4f alone → %.4f under LLC cleansing (%.1fx)\n\n",
+		baseM, cleanseM, cleanseM/max(baseM, 1e-9))
+	return nil
+}
+
+func writeCSV(dir, name string, headers []string, cols ...[]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := timeseries.WriteCSV(f, headers, cols...); err != nil {
+		return err
+	}
+	return f.Close()
+}

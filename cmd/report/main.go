@@ -1,0 +1,51 @@
+// Command report runs the reproduction's verification harness: it re-runs
+// the experiments and checks every headline claim of the paper against the
+// measured results, printing a PASS/FAIL table (see EXPERIMENTS.md for the
+// claim inventory). It exits non-zero when any check fails, so it can gate
+// CI on the reproduction staying intact.
+//
+//	report            # full verification (a few minutes)
+//	report -quick     # subset of apps, fewer runs, no microsim (~30 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/memdos/sds/internal/report"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "fast verification: 3 apps, 4 runs, no microsim checks")
+		runs  = flag.Int("runs", 0, "override runs per accuracy cell (0 = default)")
+		seed  = flag.Uint64("seed", 1, "verification seed")
+	)
+	flag.Parse()
+
+	opts := report.Options{Seed: *seed, Runs: *runs}
+	if *quick {
+		opts.Runs = 4
+		opts.Apps = []string{workload.KMeans, workload.TeraSort, workload.FaceNet}
+		opts.SkipMicro = true
+		if *runs > 0 {
+			opts.Runs = *runs
+		}
+	}
+
+	checks, err := report.Run(opts, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	failures, err := report.Render(os.Stdout, checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command sensitivity reproduces the paper's sensitivity analysis (§5.3,
+// Figs. 13–18): recall, specificity and detection delay of SDS as one
+// parameter varies, on k-means (SDS/B parameters) and FaceNet (SDS/P
+// parameters), as in the paper.
+//
+//	sensitivity -alpha    Fig. 13: EWMA smoothing factor α ∈ [0.05, 1]
+//	sensitivity -k        Fig. 14: boundary factor k ∈ [1.1, 2] (H_C from Chebyshev)
+//	sensitivity -w        Fig. 15: MA window size W ∈ [100, 1000]
+//	sensitivity -dw       Fig. 16: MA sliding step ΔW ∈ [20, 200]
+//	sensitivity -wp       Fig. 17: SDS/P window W_P ∈ [2p, 6p]
+//	sensitivity -dwp      Fig. 18: SDS/P sliding step ΔW_P ∈ [5, 25]
+//	sensitivity -all      all six sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/workload"
+)
+
+type sweep struct {
+	name   string
+	figure string
+	app    string
+	values []float64
+	run    func(experiment.Config, string, []float64) ([]experiment.SweepPoint, error)
+}
+
+func main() {
+	var (
+		alpha = flag.Bool("alpha", false, "Fig. 13: EWMA smoothing factor")
+		k     = flag.Bool("k", false, "Fig. 14: boundary factor k")
+		w     = flag.Bool("w", false, "Fig. 15: MA window size W")
+		dw    = flag.Bool("dw", false, "Fig. 16: MA sliding step ΔW")
+		wp    = flag.Bool("wp", false, "Fig. 17: SDS/P window W_P")
+		dwp   = flag.Bool("dwp", false, "Fig. 18: SDS/P sliding step ΔW_P")
+		all   = flag.Bool("all", false, "every sweep")
+		runs  = flag.Int("runs", 10, "runs per point (per attack)")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	if !(*alpha || *k || *w || *dw || *wp || *dwp || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Runs = *runs
+	cfg.Seed = *seed
+
+	sweeps := []struct {
+		enabled bool
+		s       sweep
+	}{
+		{*alpha || *all, sweep{"α", "Fig. 13", workload.KMeans,
+			[]float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0},
+			experiment.Config.SweepAlpha}},
+		{*k || *all, sweep{"k", "Fig. 14", workload.KMeans,
+			[]float64{1.1, 1.125, 1.2, 1.3, 1.5, 2.0},
+			experiment.Config.SweepK}},
+		{*w || *all, sweep{"W", "Fig. 15", workload.KMeans,
+			[]float64{100, 200, 400, 600, 800, 1000},
+			experiment.Config.SweepW}},
+		{*dw || *all, sweep{"ΔW", "Fig. 16", workload.KMeans,
+			[]float64{20, 50, 100, 150, 200},
+			experiment.Config.SweepDW}},
+		{*wp || *all, sweep{"W_P factor", "Fig. 17", workload.FaceNet,
+			[]float64{2, 3, 4, 5, 6},
+			experiment.Config.SweepWPFactor}},
+		{*dwp || *all, sweep{"ΔW_P", "Fig. 18", workload.FaceNet,
+			[]float64{5, 10, 15, 20, 25},
+			experiment.Config.SweepDWP}},
+	}
+
+	for _, entry := range sweeps {
+		if !entry.enabled {
+			continue
+		}
+		if err := runSweep(cfg, entry.s); err != nil {
+			fmt.Fprintln(os.Stderr, "sensitivity:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runSweep(cfg experiment.Config, s sweep) error {
+	points, err := s.run(cfg, s.app, s.values)
+	if err != nil {
+		return err
+	}
+	tb := experiment.Table{
+		Title:  fmt.Sprintf("%s — sensitivity of %s on %s (SDS, both attacks pooled)", s.figure, s.name, s.app),
+		Header: []string{s.name, "recall %", "specificity %", "delay s"},
+	}
+	for _, p := range points {
+		tb.AddRow(
+			fmt.Sprintf("%g", p.Value),
+			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Recall.Median, p.Recall.P10, p.Recall.P90),
+			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Specificity.Median, p.Specificity.P10, p.Specificity.P90),
+			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Delay.Median, p.Delay.P10, p.Delay.P90),
+		)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package sds is the public API of this repository: a reproduction of
+// "Impact of Memory DoS Attacks on Cloud Applications and Real-Time
+// Detection Schemes" (Li, Sen, Shen, Chuah; ICPP 2020).
+//
+// It provides the paper's two lightweight statistical detectors for memory
+// denial-of-service attacks between co-located cloud VMs, the combined
+// detection system, and the prior-work baseline they are evaluated against:
+//
+//   - SDS/B (NewSDSB): boundary-based detection. An EWMA of PCM counter
+//     samples is compared against the profiled normal range
+//     [μ−kσ, μ+kσ]; H_C consecutive violations raise the alarm.
+//     Chebyshev's inequality bounds the false-alarm rate for any counter
+//     distribution (ChebyshevHC).
+//   - SDS/P (NewSDSP): period-based detection for applications with
+//     periodic cache-access patterns. The period of the moving-average
+//     counter series is tracked with a DFT+ACF estimator; H_P consecutive
+//     >20% deviations from the profiled period raise the alarm.
+//   - SDS (NewSDS): the combined system — SDS/B alone for non-periodic
+//     applications, the conjunction of both schemes for periodic ones.
+//   - KStest (NewKSTest): the baseline of Zhang et al. (AsiaCCS '17),
+//     which throttles co-located VMs to collect reference samples and
+//     compares them with monitored samples using the two-sample
+//     Kolmogorov–Smirnov test.
+//
+// Detectors consume a stream of PCM Samples — per-interval LLC access and
+// miss counts for the protected VM — through the Detector interface, and
+// expose their alarm state after every observation.
+//
+// Because the paper's testbed (Intel Xeon LLC, KVM, Intel PCM, HiBench
+// workloads) requires privileged hardware access, the package also ships a
+// calibrated simulation substrate: NewApplication instantiates telemetry
+// models of the paper's ten cloud applications, and AttackSchedule injects
+// bus-locking and LLC-cleansing attacks into their counter streams. The
+// Simulate helper wires a model, a schedule and a detector into a
+// closed-loop run. See DESIGN.md for the full substitution map and
+// EXPERIMENTS.md for measured-vs-published results.
+package sds

@@ -1,0 +1,162 @@
+// Micro-architectural demonstration: instead of the calibrated telemetry
+// models, this example runs the repository's cache/bus/VM simulator — a
+// set-associative LLC shared by nine VMs and an arbitrated memory bus — and
+// reproduces the paper's two observations from first principles:
+//
+//	Observation 1: the bus-locking attack collapses the victim's LLC
+//	access rate; the cleansing attack inflates its miss rate.
+//	Observation 2: a work-based periodic loop's cycle stretches under
+//	either attack.
+//
+// A PCM monitor samples the victim's counters every T_PCM, and SDS/B —
+// profiled on the same machine before the attack — detects the attack from
+// that stream alone.
+//
+//	go run ./examples/microsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memdos/sds"
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/membus"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Shared hardware: a scaled-down LLC and a memory bus.
+	cache, err := cachesim.New(cachesim.Config{SizeBytes: 512 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		return err
+	}
+	bus, err := membus.New(2e6, 0.95)
+	if err != nil {
+		return err
+	}
+	machine, err := vmm.NewMachine(cache, bus)
+	if err != nil {
+		return err
+	}
+
+	// The victim VM runs a periodic working-set loop (think FaceNet
+	// batches); seven benign VMs run near-idle utilities; the ninth VM is
+	// the attacker, which starts bus locking at t=30 s.
+	victim, err := workload.NewPhasedLoop("victim-app", 0, 4e5, []workload.LoopPhase{
+		{Lines: 512, Work: 30000},
+		{Lines: 1024, Work: 30000},
+	}, randx.New(1, 2))
+	if err != nil {
+		return err
+	}
+	victimVM, err := machine.AddVM("victim", victim)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 7; i++ {
+		idle, err := workload.NewIdle(fmt.Sprintf("benign-%d", i), 2000, randx.Derive(3, uint64(i)))
+		if err != nil {
+			return err
+		}
+		if _, err := machine.AddVM(idle.Name(), idle); err != nil {
+			return err
+		}
+	}
+	const attackAt = 30.0
+	locker, err := attack.NewBusLocker(attackAt, 0.9, randx.New(4, 5))
+	if err != nil {
+		return err
+	}
+	if _, err := machine.AddVM(locker.Name(), locker); err != nil {
+		return err
+	}
+
+	// A PCM monitor watches the victim's shared-cache counters.
+	monitor, err := pcm.NewMonitor(func() (uint64, uint64) {
+		st, err := machine.CacheStats(victimVM.ID())
+		if err != nil {
+			return 0, 0
+		}
+		return st.Accesses, st.Misses
+	}, 0.01)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1 — profile the victim before the attack window.
+	cfg := sds.DefaultConfig()
+	cfg.W, cfg.DW, cfg.HC = 100, 25, 30 // smaller windows: the microsim runs shorter
+	var profileSamples []sds.Sample
+	for machine.Now() < 20 {
+		if err := machine.Tick(0.01); err != nil {
+			return err
+		}
+		samples, err := monitor.Advance(0.01)
+		if err != nil {
+			return err
+		}
+		profileSamples = append(profileSamples, samples...)
+	}
+	profile, err := sds.BuildProfile("victim-app", profileSamples, cfg)
+	if err != nil {
+		return err
+	}
+	detector, err := sds.NewSDSB(profile, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled victim on the micro-simulator: access rate ≈ %.0f/sample (σ %.0f)\n",
+		profile.MeanAccess, profile.StdAccess)
+
+	// Phase 2 — keep running; the attacker fires at t=30 s.
+	cyclesBefore, cyclesAfter := 0, 0
+	lastPhase := victim.Phase()
+	for machine.Now() < 60 {
+		if err := machine.Tick(0.01); err != nil {
+			return err
+		}
+		if victim.Phase() != lastPhase {
+			lastPhase = victim.Phase()
+			if machine.Now() < attackAt {
+				cyclesBefore++
+			} else {
+				cyclesAfter++
+			}
+		}
+		samples, err := monitor.Advance(0.01)
+		if err != nil {
+			return err
+		}
+		for _, s := range samples {
+			wasAlarmed := detector.Alarmed()
+			detector.Observe(s)
+			if detector.Alarmed() && !wasAlarmed && s.T+20 > attackAt {
+				fmt.Printf("[%6.2fs] SDS/B alarm: %s\n", machine.Now(), detector.Alarms()[len(detector.Alarms())-1].Reason)
+			}
+		}
+	}
+
+	st, err := machine.CacheStats(victimVM.ID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("victim phase transitions: %d in the 10 s before the attack, %d in the 30 s under it\n",
+		cyclesBefore, cyclesAfter)
+	fmt.Printf("victim totals: %d LLC accesses, %d misses; progress %.1f s of work in %.0f s wall time\n",
+		st.Accesses, st.Misses, victimVM.Progress(), machine.Now())
+	if !detector.Alarmed() {
+		return fmt.Errorf("SDS/B failed to detect the bus-locking attack")
+	}
+	return nil
+}

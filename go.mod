@@ -1,0 +1,3 @@
+module github.com/memdos/sds
+
+go 1.22

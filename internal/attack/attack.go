@@ -1,0 +1,98 @@
+// Package attack implements the two memory DoS attacks of the paper (§2.2)
+// for both simulation substrates:
+//
+//   - the atomic bus-locking attack, which continuously issues atomic
+//     operations that lock the socket's memory buses, starving co-located
+//     VMs of bus bandwidth; and
+//   - the LLC-cleansing attack, which first probes the shared cache for
+//     sets heavily occupied by other VMs and then repeatedly evicts their
+//     lines, inflating the victims' miss counts.
+//
+// For the telemetry substrate, Schedule maps virtual time to the contention
+// environment (workload.Env) a victim experiences, including the attacker's
+// probe/ramp-up window.
+package attack
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/workload"
+)
+
+// Kind identifies an attack type.
+type Kind int
+
+// The attack kinds of the paper.
+const (
+	None Kind = iota
+	BusLock
+	Cleanse
+)
+
+// String returns the attack name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case BusLock:
+		return "bus-locking"
+	case Cleanse:
+		return "llc-cleansing"
+	default:
+		return fmt.Sprintf("attack.Kind(%d)", int(k))
+	}
+}
+
+// Schedule describes when an attack starts and how fast it reaches full
+// effect on the telemetry substrate.
+type Schedule struct {
+	// Kind selects the attack (None disables it).
+	Kind Kind
+	// Start is the virtual time in seconds at which the attacker begins.
+	Start float64
+	// Ramp is the seconds the attack takes to reach full intensity — the
+	// attacker's probe phase (cleansing must discover contended cache
+	// sets; bus locking spins up its atomic-operation loop).
+	Ramp float64
+	// Stop optionally ends the attack; zero means it runs forever.
+	Stop float64
+}
+
+// Intensity returns the attack intensity in [0,1] at virtual time t.
+func (s Schedule) Intensity(t float64) float64 {
+	if s.Kind == None || t < s.Start {
+		return 0
+	}
+	if s.Stop > 0 && t >= s.Stop {
+		return 0
+	}
+	if s.Ramp <= 0 {
+		return 1
+	}
+	frac := (t - s.Start) / s.Ramp
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// Active reports whether the attack is running (at any intensity) at time t.
+func (s Schedule) Active(t float64) bool { return s.Intensity(t) > 0 }
+
+// Env returns the contention environment a co-located victim experiences at
+// time t. quiesced marks KStest-style execution throttling of all other VMs,
+// which also pauses the attacker.
+func (s Schedule) Env(t float64, quiesced bool) workload.Env {
+	env := workload.Env{Quiesced: quiesced}
+	if quiesced {
+		// The throttled attacker cannot attack.
+		return env
+	}
+	switch s.Kind {
+	case BusLock:
+		env.BusLock = s.Intensity(t)
+	case Cleanse:
+		env.Cleanse = s.Intensity(t)
+	}
+	return env
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{None, "none"},
+		{BusLock, "bus-locking"},
+		{Cleanse, "llc-cleansing"},
+		{Kind(42), "attack.Kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleIntensityRamp(t *testing.T) {
+	s := Schedule{Kind: BusLock, Start: 300, Ramp: 10}
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 0}, {299.99, 0}, {300, 0}, {305, 0.5}, {310, 1}, {500, 1},
+	}
+	for _, tt := range tests {
+		if got := s.Intensity(tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Intensity(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleZeroRampIsStep(t *testing.T) {
+	s := Schedule{Kind: Cleanse, Start: 10}
+	if got := s.Intensity(10); got != 1 {
+		t.Fatalf("Intensity at start = %v, want 1", got)
+	}
+}
+
+func TestScheduleStop(t *testing.T) {
+	s := Schedule{Kind: BusLock, Start: 10, Ramp: 1, Stop: 20}
+	if !s.Active(15) {
+		t.Error("inactive mid-attack")
+	}
+	if s.Active(20) || s.Active(25) {
+		t.Error("active after stop")
+	}
+}
+
+func TestScheduleNone(t *testing.T) {
+	s := Schedule{Kind: None, Start: 0}
+	if s.Active(100) {
+		t.Error("None schedule active")
+	}
+	if env := s.Env(100, false); env != (workload.Env{}) {
+		t.Errorf("None env = %+v", env)
+	}
+}
+
+func TestScheduleEnvRouting(t *testing.T) {
+	bus := Schedule{Kind: BusLock, Start: 0}
+	if env := bus.Env(5, false); env.BusLock != 1 || env.Cleanse != 0 {
+		t.Errorf("bus env = %+v", env)
+	}
+	cl := Schedule{Kind: Cleanse, Start: 0}
+	if env := cl.Env(5, false); env.Cleanse != 1 || env.BusLock != 0 {
+		t.Errorf("cleanse env = %+v", env)
+	}
+}
+
+func TestScheduleQuiescedSuppressesAttack(t *testing.T) {
+	// Execution throttling pauses the attacker too: reference samples are
+	// attack-free even mid-attack, as in the KStest baseline's design.
+	s := Schedule{Kind: BusLock, Start: 0}
+	env := s.Env(5, true)
+	if env.BusLock != 0 || !env.Quiesced {
+		t.Errorf("quiesced env = %+v", env)
+	}
+}

@@ -1,0 +1,193 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+)
+
+// BusLocker is the micro-simulation bus-locking attacker: while active it
+// requests atomic lock windows covering most of every tick, plus a small
+// stream of its own accesses (the atomic operations themselves).
+type BusLocker struct {
+	name     string
+	rng      *randx.Rand
+	start    float64
+	lockFrac float64
+	perSec   float64
+	now      float64
+}
+
+var _ vmm.Workload = (*BusLocker)(nil)
+
+// NewBusLocker returns a bus-locking attacker that activates at start
+// seconds and thereafter holds the bus locked for lockFrac of each tick.
+func NewBusLocker(start, lockFrac float64, rng *randx.Rand) (*BusLocker, error) {
+	if lockFrac <= 0 || lockFrac > 1 || rng == nil {
+		return nil, fmt.Errorf("attack: bad BusLocker parameters (lockFrac=%v)", lockFrac)
+	}
+	return &BusLocker{
+		name:     "buslock-attacker",
+		rng:      rng,
+		start:    start,
+		lockFrac: lockFrac,
+		perSec:   20000,
+	}, nil
+}
+
+// Name implements vmm.Workload.
+func (b *BusLocker) Name() string { return b.name }
+
+// Demand implements vmm.Workload.
+func (b *BusLocker) Demand(dt float64) (int, float64) {
+	b.now += dt
+	if b.now < b.start {
+		return 0, 0
+	}
+	return int(b.perSec * dt), b.lockFrac
+}
+
+// Issue implements vmm.Workload. The attacker's own accesses touch a tiny
+// buffer (the lock cadence matters, not its footprint).
+func (b *BusLocker) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		c.Access(owner, uint64(b.rng.IntN(16))*64)
+	}
+}
+
+// Cleanser is the micro-simulation LLC-cleansing attacker. Before attacking
+// it probes: it fills cache sets with its own lines, waits, and re-accesses
+// them, counting self-misses per set — a miss means another VM evicted the
+// attacker's line, i.e. the set is contended. It then repeatedly sweeps the
+// most contended sets with fresh tags, cleansing the victims' lines.
+type Cleanser struct {
+	name   string
+	rng    *randx.Rand
+	start  float64
+	perSec float64
+	now    float64
+
+	probing   bool
+	probePass int
+	probeSet  int
+	missBySet []int
+	hotSets   []int
+	sweepTag  uint64
+	sweepIdx  int
+}
+
+var _ vmm.Workload = (*Cleanser)(nil)
+
+// NewCleanser returns a cleansing attacker that activates at start seconds,
+// issuing perSec accesses per second while probing and cleansing.
+func NewCleanser(start, perSec float64, rng *randx.Rand) (*Cleanser, error) {
+	if perSec <= 0 || rng == nil {
+		return nil, fmt.Errorf("attack: bad Cleanser parameters (perSec=%v)", perSec)
+	}
+	return &Cleanser{
+		name:    "cleansing-attacker",
+		rng:     rng,
+		start:   start,
+		perSec:  perSec,
+		probing: true,
+	}, nil
+}
+
+// Name implements vmm.Workload.
+func (a *Cleanser) Name() string { return a.name }
+
+// Probing reports whether the attacker is still in its probe phase.
+func (a *Cleanser) Probing() bool { return a.probing }
+
+// HotSets returns the contended sets discovered by the probe (nil while
+// probing).
+func (a *Cleanser) HotSets() []int {
+	out := make([]int, len(a.hotSets))
+	copy(out, a.hotSets)
+	return out
+}
+
+// Demand implements vmm.Workload.
+func (a *Cleanser) Demand(dt float64) (int, float64) {
+	a.now += dt
+	if a.now < a.start {
+		return 0, 0
+	}
+	return int(a.perSec * dt), 0
+}
+
+// Issue implements vmm.Workload.
+func (a *Cleanser) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	if a.missBySet == nil {
+		a.missBySet = make([]int, c.NumSets())
+	}
+	for i := 0; i < granted; i++ {
+		if a.probing {
+			a.probeStep(c, owner)
+		} else {
+			a.cleanseStep(c, owner)
+		}
+	}
+}
+
+// probeStep advances the two-pass probe by one access. Pass 0 plants one
+// line per set; pass 1 re-accesses it and records a self-miss wherever the
+// line was evicted by someone else in the meantime.
+func (a *Cleanser) probeStep(c *cachesim.Cache, owner cachesim.Owner) {
+	set := a.probeSet
+	addr := c.AddrForSet(set, 1<<20) // a tag victims are unlikely to use
+	hit := c.Access(owner, addr)
+	if a.probePass == 1 && !hit {
+		a.missBySet[set]++
+	}
+	a.probeSet++
+	if a.probeSet < c.NumSets() {
+		return
+	}
+	a.probeSet = 0
+	a.probePass++
+	// Two passes: plant, then measure (victims evict in between because
+	// probe accesses are interleaved with their execution).
+	if a.probePass < 2 {
+		return
+	}
+	a.finishProbe(c)
+}
+
+func (a *Cleanser) finishProbe(c *cachesim.Cache) {
+	type setMiss struct{ set, misses int }
+	ranked := make([]setMiss, 0, len(a.missBySet))
+	for set, m := range a.missBySet {
+		if m > 0 {
+			ranked = append(ranked, setMiss{set, m})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].misses > ranked[j].misses })
+	for _, sm := range ranked {
+		a.hotSets = append(a.hotSets, sm.set)
+	}
+	if len(a.hotSets) == 0 {
+		// Nothing contended was found: cleanse the whole cache.
+		for set := 0; set < c.NumSets(); set++ {
+			a.hotSets = append(a.hotSets, set)
+		}
+	}
+	a.probing = false
+}
+
+// cleanseStep walks fresh tags through the contended sets, one access per
+// step, cycling through enough distinct tags per set (associativity + 4)
+// that every visit chain flushes the whole set — including lines the victim
+// keeps hot, which a single-tag sweep could never displace from an LRU set.
+func (a *Cleanser) cleanseStep(c *cachesim.Cache, owner cachesim.Owner) {
+	set := a.hotSets[a.sweepIdx]
+	depth := uint64(c.Config().Ways + 4)
+	c.Access(owner, c.AddrForSet(set, 2<<20+a.sweepTag%depth))
+	a.sweepTag++
+	if a.sweepTag%depth == 0 {
+		a.sweepIdx = (a.sweepIdx + 1) % len(a.hotSets)
+	}
+}

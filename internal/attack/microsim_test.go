@@ -1,0 +1,188 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/membus"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// buildMachine assembles a small machine with a victim loop workload and
+// returns (machine, victim VM).
+func buildMachine(t *testing.T, victimSetBytes int, extra ...vmm.Workload) (*vmm.Machine, *vmm.VM) {
+	t.Helper()
+	cache, err := cachesim.New(cachesim.Config{SizeBytes: 512 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := membus.New(2e6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vmm.NewMachine(cache, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := workload.NewLoop("victim-app", 0, victimSetBytes, 5e5, randx.New(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vvm, err := m.AddVM("victim", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range extra {
+		if _, err := m.AddVM(w.Name(), w); err != nil {
+			t.Fatalf("add VM %d: %v", i, err)
+		}
+	}
+	return m, vvm
+}
+
+func TestNewAttackerValidation(t *testing.T) {
+	rng := randx.New(1, 1)
+	if _, err := NewBusLocker(0, 0, rng); err == nil {
+		t.Error("zero lock fraction accepted")
+	}
+	if _, err := NewBusLocker(0, 0.5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewCleanser(0, 0, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewCleanser(0, 1000, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// TestBusLockerReducesVictimAccessRate reproduces Observation 1 (bus-lock
+// half) from first principles: once the attacker starts, the victim's
+// per-interval LLC access count collapses.
+func TestBusLockerReducesVictimAccessRate(t *testing.T) {
+	locker, err := NewBusLocker(5 /* start */, 0.9, randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, vvm := buildMachine(t, 64*1024, locker)
+
+	readAccesses := func() uint64 {
+		st, err := m.CacheStats(vvm.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Accesses
+	}
+	if err := m.Run(5, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	before := readAccesses()
+	if err := m.Run(10, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	after := readAccesses() - before
+
+	// Per-second rates before vs during the attack.
+	rateBefore := float64(before) / 5
+	rateDuring := float64(after) / 5
+	if rateDuring > 0.4*rateBefore {
+		t.Fatalf("victim access rate %0.f → %0.f under bus lock; want ≥60%% drop", rateBefore, rateDuring)
+	}
+}
+
+// TestCleanserInflatesVictimMissRate reproduces Observation 1 (cleansing
+// half): after probing, the attacker's sweeps evict the victim's working
+// set and its miss rate jumps.
+func TestCleanserInflatesVictimMissRate(t *testing.T) {
+	cleanser, err := NewCleanser(5 /* start */, 1e6, randx.New(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, vvm := buildMachine(t, 64*1024, cleanser)
+
+	readStats := func() cachesim.Stats {
+		st, err := m.CacheStats(vvm.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if err := m.Run(5, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	before := readStats()
+	if err := m.Run(15, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	during := readStats()
+
+	missBefore := float64(before.Misses) / float64(before.Accesses)
+	missDuring := float64(during.Misses-before.Misses) / float64(during.Accesses-before.Accesses)
+	if missDuring < 4*missBefore+0.02 {
+		t.Fatalf("victim miss rate %v → %v under cleansing; want a clear jump", missBefore, missDuring)
+	}
+	if cleanser.Probing() {
+		t.Fatal("cleanser never finished probing")
+	}
+	if len(cleanser.HotSets()) == 0 {
+		t.Fatal("cleanser found no sets to cleanse")
+	}
+}
+
+// TestAttackStretchesPhasedLoopPeriod reproduces Observation 2 from first
+// principles: a work-based periodic loop takes longer per cycle when
+// starved of bus slots.
+func TestAttackStretchesPhasedLoopPeriod(t *testing.T) {
+	mkVictim := func() *workload.PhasedLoop {
+		p, err := workload.NewPhasedLoop("periodic-app", 0, 5e5, []workload.LoopPhase{
+			{Lines: 256, Work: 40000},
+			{Lines: 512, Work: 40000},
+		}, randx.New(7, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cyclesIn := func(extra vmm.Workload, seconds float64) int {
+		cache, _ := cachesim.New(cachesim.Config{SizeBytes: 512 * 1024, LineSize: 64, Ways: 8})
+		bus, _ := membus.New(2e6, 0.95)
+		m, _ := vmm.NewMachine(cache, bus)
+		victim := mkVictim()
+		if _, err := m.AddVM("victim", victim); err != nil {
+			t.Fatal(err)
+		}
+		if extra != nil {
+			if _, err := m.AddVM(extra.Name(), extra); err != nil {
+				t.Fatal(err)
+			}
+		}
+		phaseChanges := 0
+		last := victim.Phase()
+		for now := 0.0; now < seconds; now += 0.01 {
+			if err := m.Tick(0.01); err != nil {
+				t.Fatal(err)
+			}
+			if victim.Phase() != last {
+				phaseChanges++
+				last = victim.Phase()
+			}
+		}
+		return phaseChanges / 2 // two phase changes per full cycle
+	}
+
+	baseline := cyclesIn(nil, 10)
+	locker, err := NewBusLocker(0, 0.9, randx.New(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked := cyclesIn(locker, 10)
+	if baseline < 3 {
+		t.Fatalf("baseline completed only %d cycles; test needs more", baseline)
+	}
+	if float64(attacked) > 0.7*float64(baseline) {
+		t.Fatalf("cycles: baseline %d vs attacked %d; want a clear slowdown (longer period)", baseline, attacked)
+	}
+}

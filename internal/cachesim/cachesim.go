@@ -1,0 +1,293 @@
+// Package cachesim implements a set-associative last-level cache (LLC)
+// simulator with per-owner accounting. It is the shared hardware resource
+// through which the LLC-cleansing attack operates (paper §2.2): an attacker
+// that repeatedly touches lines mapping into a victim's cache sets evicts
+// the victim's data and inflates its miss count.
+//
+// The simulator is deliberately scaled down from the paper's 35 MB / 20-way
+// Xeon LLC: the attacks act through set conflicts and eviction, which are
+// geometry-independent, so a smaller cache reproduces the same behaviour at
+// a fraction of the simulation cost.
+package cachesim
+
+import (
+	"fmt"
+)
+
+// Owner identifies the VM (or other agent) performing an access. Owners are
+// small dense integers assigned by the caller.
+type Owner int
+
+// NoOwner marks an invalid line owner.
+const NoOwner Owner = -1
+
+// Config describes the cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity. Default 2 MiB.
+	SizeBytes int
+	// LineSize is the cache-line size in bytes. Default 64.
+	LineSize int
+	// Ways is the set associativity. Default 16.
+	Ways int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SizeBytes == 0 {
+		c.SizeBytes = 2 << 20
+	}
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cachesim: config values must be positive: %+v", c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d is not a power of two", c.LineSize)
+	}
+	lines := c.SizeBytes / c.LineSize
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cachesim: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets == 0 {
+		return fmt.Errorf("cachesim: zero sets for config %+v", c)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats holds cumulative per-owner counters. Accesses = Hits + Misses always
+// holds; EvictedOthers counts lines of *other* owners this owner displaced
+// (the cleansing attacker's effectiveness measure).
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	EvictedOthers uint64
+}
+
+type way struct {
+	tag     uint64
+	owner   Owner
+	lastUse uint64
+	valid   bool
+}
+
+// Cache is a set-associative LRU cache with per-owner statistics. It is not
+// safe for concurrent use; the machine simulator drives it from one
+// goroutine.
+type Cache struct {
+	cfg        Config
+	sets       int
+	setShift   uint // log2(LineSize)
+	setMask    uint64
+	ways       []way // sets * cfg.Ways, row-major by set
+	clock      uint64
+	stats      []Stats     // indexed by Owner
+	partitions []partition // indexed by Owner; empty = unpartitioned
+}
+
+// partition restricts which ways of every set an owner may fill into
+// (Intel CAT-style way partitioning). Zero value = all ways allowed.
+type partition struct {
+	first, count int
+	set          bool
+}
+
+// New returns a cache with the given geometry (zero fields take defaults).
+func New(cfg Config) (*Cache, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / cfg.LineSize / cfg.Ways
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+		ways:     make([]way, sets*cfg.Ways),
+	}, nil
+}
+
+// Config returns the cache geometry in effect.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of cache sets.
+func (c *Cache) NumSets() int { return c.sets }
+
+// SetOf returns the set index an address maps to.
+func (c *Cache) SetOf(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// Partition restricts the owner to fill only into ways
+// [firstWay, firstWay+wayCount) of every set — Intel CAT-style way
+// partitioning, the performance-isolation defense the paper's related work
+// discusses (§2.3). Hits anywhere in the set still count (CAT masks
+// restrict allocation, not lookup). Pass wayCount ≤ 0 to clear the
+// owner's partition.
+func (c *Cache) Partition(owner Owner, firstWay, wayCount int) error {
+	if owner < 0 {
+		return fmt.Errorf("cachesim: negative owner %d", owner)
+	}
+	for int(owner) >= len(c.partitions) {
+		c.partitions = append(c.partitions, partition{})
+	}
+	if wayCount <= 0 {
+		c.partitions[owner] = partition{}
+		return nil
+	}
+	if firstWay < 0 || firstWay+wayCount > c.cfg.Ways {
+		return fmt.Errorf("cachesim: partition [%d, %d) outside %d ways", firstWay, firstWay+wayCount, c.cfg.Ways)
+	}
+	c.partitions[owner] = partition{first: firstWay, count: wayCount, set: true}
+	return nil
+}
+
+// fillRange returns the way-index range within a set that the owner may
+// fill into.
+func (c *Cache) fillRange(owner Owner) (first, count int) {
+	if int(owner) < len(c.partitions) && c.partitions[owner].set {
+		p := c.partitions[owner]
+		return p.first, p.count
+	}
+	return 0, c.cfg.Ways
+}
+
+// Access performs one access by owner at the given byte address and reports
+// whether it hit. Misses install the line, evicting the LRU way of the
+// owner's allowed fill range in the set if necessary.
+func (c *Cache) Access(owner Owner, addr uint64) bool {
+	if owner < 0 {
+		panic("cachesim: negative owner")
+	}
+	c.clock++
+	set := c.SetOf(addr)
+	tag := addr >> c.setShift
+	base := set * c.cfg.Ways
+	st := c.ownerStats(owner)
+	st.Accesses++
+
+	for i := base; i < base+c.cfg.Ways; i++ {
+		w := &c.ways[i]
+		if w.valid && w.tag == tag {
+			w.lastUse = c.clock
+			w.owner = owner
+			st.Hits++
+			return true
+		}
+	}
+	st.Misses++
+	first, count := c.fillRange(owner)
+	victim := base + first
+	for i := base + first; i < base+first+count; i++ {
+		w := &c.ways[i]
+		if !w.valid {
+			victim = i
+			break
+		}
+		if c.ways[victim].valid && w.lastUse < c.ways[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &c.ways[victim]
+	if v.valid && v.owner != owner {
+		st.EvictedOthers++
+	}
+	*v = way{tag: tag, owner: owner, lastUse: c.clock, valid: true}
+	return false
+}
+
+// AccessSeries issues count accesses starting at base with the given byte
+// stride and returns the number of misses. It is the batched fast path used
+// by the workload loops.
+func (c *Cache) AccessSeries(owner Owner, base uint64, stride uint64, count int) (misses int) {
+	addr := base
+	for i := 0; i < count; i++ {
+		if !c.Access(owner, addr) {
+			misses++
+		}
+		addr += stride
+	}
+	return misses
+}
+
+// Stats returns a copy of the cumulative counters for owner (zero Stats for
+// owners that never accessed the cache).
+func (c *Cache) Stats(owner Owner) Stats {
+	if int(owner) < 0 || int(owner) >= len(c.stats) {
+		return Stats{}
+	}
+	return c.stats[owner]
+}
+
+// Occupancy returns the number of valid lines currently owned by owner in
+// the given set. The cleansing attacker uses this through its probe loop
+// indirectly (by observing self-misses); tests use it directly.
+func (c *Cache) Occupancy(set int, owner Owner) int {
+	if set < 0 || set >= c.sets {
+		return 0
+	}
+	n := 0
+	base := set * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.ways[i].valid && c.ways[i].owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// ForeignOccupancy returns the number of valid lines in the set owned by
+// anyone other than owner.
+func (c *Cache) ForeignOccupancy(set int, owner Owner) int {
+	if set < 0 || set >= c.sets {
+		return 0
+	}
+	n := 0
+	base := set * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.ways[i].valid && c.ways[i].owner != owner {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalOccupancy returns the number of valid lines in the whole cache.
+func (c *Cache) TotalOccupancy() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// AddrForSet returns a byte address that maps to the given set with the
+// given tag index, a convenience for constructing conflict patterns.
+func (c *Cache) AddrForSet(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) << c.setShift
+}
+
+func (c *Cache) ownerStats(owner Owner) *Stats {
+	for int(owner) >= len(c.stats) {
+		c.stats = append(c.stats, Stats{})
+	}
+	return &c.stats[owner]
+}

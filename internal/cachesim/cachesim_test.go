@@ -1,0 +1,217 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{}, true},
+		{"paper-like scaled", Config{SizeBytes: 1 << 20, LineSize: 64, Ways: 16}, true},
+		{"non power-of-two line", Config{SizeBytes: 1 << 20, LineSize: 48, Ways: 16}, false},
+		{"negative size", Config{SizeBytes: -1, LineSize: 64, Ways: 4}, false},
+		{"lines not divisible by ways", Config{SizeBytes: 64 * 3, LineSize: 64, Ways: 2}, false},
+		{"non power-of-two sets", Config{SizeBytes: 64 * 12, LineSize: 64, Ways: 4}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(%+v) err = %v, want ok=%v", tt.cfg, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64 * 1024, LineSize: 64, Ways: 4})
+	if got, want := c.NumSets(), 256; got != want {
+		t.Fatalf("NumSets = %d, want %d", got, want)
+	}
+	// Addresses differing only inside the line share a set and tag (hit).
+	if c.Access(0, 0x1000) {
+		t.Fatal("first access hit")
+	}
+	if !c.Access(0, 0x103F) {
+		t.Fatal("same-line access missed")
+	}
+	if c.SetOf(0x1000) != c.SetOf(0x103F) {
+		t.Fatal("same line mapped to different sets")
+	}
+}
+
+func TestAddrForSetRoundTrip(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1 << 18, LineSize: 64, Ways: 8})
+	for _, set := range []int{0, 1, 100, c.NumSets() - 1} {
+		for tag := uint64(0); tag < 4; tag++ {
+			addr := c.AddrForSet(set, tag)
+			if got := c.SetOf(addr); got != set {
+				t.Fatalf("AddrForSet(%d,%d) maps to set %d", set, tag, got)
+			}
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustNew(t, Config{})
+	if c.Access(1, 4096) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(1, 4096) {
+		t.Fatal("warm access missed")
+	}
+	st := c.Stats(1)
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64 * 8, LineSize: 64, Ways: 4}) // 2 sets
+	set := 0
+	// Fill the 4 ways of set 0.
+	for tag := uint64(0); tag < 4; tag++ {
+		c.Access(0, c.AddrForSet(set, tag))
+	}
+	// Touch tag 0 to make it MRU; then insert a 5th tag.
+	c.Access(0, c.AddrForSet(set, 0))
+	c.Access(0, c.AddrForSet(set, 4))
+	// Tag 1 was LRU and must be gone; tag 0 must survive.
+	if !c.Access(0, c.AddrForSet(set, 0)) {
+		t.Fatal("MRU line was evicted")
+	}
+	if c.Access(0, c.AddrForSet(set, 1)) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestCrossOwnerEviction(t *testing.T) {
+	// The cleansing mechanism: attacker sweeps a set, victim lines vanish.
+	c := mustNew(t, Config{SizeBytes: 64 * 16, LineSize: 64, Ways: 8}) // 2 sets
+	const victim, attacker Owner = 0, 1
+	set := 1
+	for tag := uint64(0); tag < 4; tag++ {
+		c.Access(victim, c.AddrForSet(set, tag))
+	}
+	if got := c.Occupancy(set, victim); got != 4 {
+		t.Fatalf("victim occupancy = %d, want 4", got)
+	}
+	// Attacker sweeps 8 fresh tags through the same set.
+	for tag := uint64(100); tag < 108; tag++ {
+		c.Access(attacker, c.AddrForSet(set, tag))
+	}
+	if got := c.Occupancy(set, victim); got != 0 {
+		t.Fatalf("victim occupancy after cleansing = %d, want 0", got)
+	}
+	if got := c.Stats(attacker).EvictedOthers; got != 4 {
+		t.Fatalf("attacker EvictedOthers = %d, want 4", got)
+	}
+	// Victim re-access now misses: the attack inflated its miss count.
+	before := c.Stats(victim).Misses
+	for tag := uint64(0); tag < 4; tag++ {
+		c.Access(victim, c.AddrForSet(set, tag))
+	}
+	if got := c.Stats(victim).Misses - before; got != 4 {
+		t.Fatalf("victim misses after cleansing = %d, want 4", got)
+	}
+}
+
+func TestWorkingSetFitsNoSteadyStateMisses(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 1 << 20, LineSize: 64, Ways: 16})
+	const lines = 1000
+	// Warm-up pass.
+	c.AccessSeries(0, 0, 64, lines)
+	// Steady state: no more misses.
+	if misses := c.AccessSeries(0, 0, 64, lines); misses != 0 {
+		t.Fatalf("steady-state misses = %d, want 0", misses)
+	}
+}
+
+func TestWorkingSetExceedsCacheAlwaysMisses(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 64 * 64, LineSize: 64, Ways: 4})
+	// Working set twice the cache size, sequential sweep: with LRU this
+	// thrashes and every access misses after warm-up too.
+	const lines = 128
+	c.AccessSeries(0, 0, 64, lines)
+	if misses := c.AccessSeries(0, 0, 64, lines); misses != lines {
+		t.Fatalf("thrash misses = %d, want %d", misses, lines)
+	}
+}
+
+func TestStatsInvariantProperty(t *testing.T) {
+	// Property: for random access streams, Hits+Misses == Accesses per
+	// owner, occupancy never exceeds capacity, and per-set occupancy never
+	// exceeds associativity.
+	c := mustNew(t, Config{SizeBytes: 64 * 256, LineSize: 64, Ways: 4})
+	r := randx.New(1, 2)
+	f := func(n uint16) bool {
+		count := int(n)%2000 + 1
+		for i := 0; i < count; i++ {
+			owner := Owner(r.IntN(3))
+			c.Access(owner, uint64(r.IntN(1<<20)))
+		}
+		var total uint64
+		for o := Owner(0); o < 3; o++ {
+			st := c.Stats(o)
+			if st.Hits+st.Misses != st.Accesses {
+				return false
+			}
+			total += st.Accesses
+		}
+		if c.TotalOccupancy() > 256 {
+			return false
+		}
+		for set := 0; set < c.NumSets(); set++ {
+			occ := 0
+			for o := Owner(0); o < 3; o++ {
+				occ += c.Occupancy(set, o)
+			}
+			if occ > 4 {
+				return false
+			}
+			if c.Occupancy(set, 0)+c.ForeignOccupancy(set, 0) != occ {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsUnknownOwner(t *testing.T) {
+	c := mustNew(t, Config{})
+	if got := c.Stats(7); got != (Stats{}) {
+		t.Fatalf("unknown owner stats = %+v", got)
+	}
+	if got := c.Stats(NoOwner); got != (Stats{}) {
+		t.Fatalf("NoOwner stats = %+v", got)
+	}
+}
+
+func TestOccupancyOutOfRangeSet(t *testing.T) {
+	c := mustNew(t, Config{})
+	if c.Occupancy(-1, 0) != 0 || c.Occupancy(c.NumSets(), 0) != 0 {
+		t.Fatal("out-of-range set occupancy not zero")
+	}
+	if c.ForeignOccupancy(-1, 0) != 0 {
+		t.Fatal("out-of-range foreign occupancy not zero")
+	}
+}

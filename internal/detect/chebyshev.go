@@ -1,0 +1,42 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChebyshevHC returns the smallest consecutive-violation threshold H_C such
+// that, by Chebyshev's inequality (paper Eq. 4), the probability of a false
+// alarm — H_C consecutive out-of-range values without an attack — is at
+// most 1−confidence: (1/k²)^H_C ≤ 1−confidence.
+//
+// For the paper's k=1.125 and 99.9% confidence this yields H_C=30 (Table 1).
+func ChebyshevHC(k, confidence float64) (int, error) {
+	if k <= 1 {
+		return 0, fmt.Errorf("detect: Chebyshev boundary factor must exceed 1, got %v", k)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("detect: confidence must be in (0,1), got %v", confidence)
+	}
+	perSample := 1 / (k * k) // P(single value out of μ±kσ)
+	target := 1 - confidence
+	// (perSample)^H ≤ target  ⇔  H ≥ log(target)/log(perSample).
+	h := math.Log(target) / math.Log(perSample)
+	hc := int(math.Ceil(h - 1e-12))
+	if hc < 1 {
+		hc = 1
+	}
+	return hc, nil
+}
+
+// ChebyshevFalseAlarmBound returns the Chebyshev upper bound on the
+// false-alarm probability for the given (k, H_C) pair: (1/k²)^H_C.
+func ChebyshevFalseAlarmBound(k float64, hc int) (float64, error) {
+	if k <= 1 {
+		return 0, fmt.Errorf("detect: Chebyshev boundary factor must exceed 1, got %v", k)
+	}
+	if hc <= 0 {
+		return 0, fmt.Errorf("detect: H_C must be positive, got %d", hc)
+	}
+	return math.Pow(1/(k*k), float64(hc)), nil
+}

@@ -1,0 +1,100 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// Fleet manages the detectors of every PROTECTED VM on one server — the
+// deployment unit of the paper (§4: "SDS … will be deployed in the
+// hypervisor on each server by the provider"). One PCM pass per sampling
+// interval feeds each VM's sample to its own detector; the fleet exposes
+// the aggregate alarm state the provider's control plane consumes.
+type Fleet struct {
+	detectors map[string]Detector
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{detectors: make(map[string]Detector)}
+}
+
+// Protect registers a detector for the named VM. Re-registering a name
+// replaces its detector (e.g. after re-profiling).
+func (f *Fleet) Protect(vm string, det Detector) error {
+	if vm == "" {
+		return fmt.Errorf("detect: fleet needs a VM name")
+	}
+	if det == nil {
+		return fmt.Errorf("detect: fleet needs a detector for %q", vm)
+	}
+	f.detectors[vm] = det
+	return nil
+}
+
+// Unprotect removes the named VM (idempotent) — e.g. after migration off
+// this server.
+func (f *Fleet) Unprotect(vm string) {
+	delete(f.detectors, vm)
+}
+
+// Size returns the number of protected VMs.
+func (f *Fleet) Size() int { return len(f.detectors) }
+
+// Observe feeds one VM's PCM sample to its detector. Unknown VMs are an
+// error: the caller's wiring is broken, not the data.
+func (f *Fleet) Observe(vm string, s pcm.Sample) error {
+	det, ok := f.detectors[vm]
+	if !ok {
+		return fmt.Errorf("detect: fleet does not protect %q", vm)
+	}
+	det.Observe(s)
+	return nil
+}
+
+// Alarmed reports whether any protected VM is currently alarmed.
+func (f *Fleet) Alarmed() bool {
+	for _, det := range f.detectors {
+		if det.Alarmed() {
+			return true
+		}
+	}
+	return false
+}
+
+// AlarmedVMs returns the names of currently-alarmed VMs, sorted.
+func (f *Fleet) AlarmedVMs() []string {
+	var out []string
+	for vm, det := range f.detectors {
+		if det.Alarmed() {
+			out = append(out, vm)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VMAlarm pairs an alarm with the VM it concerns.
+type VMAlarm struct {
+	VM string
+	Alarm
+}
+
+// Alarms returns every alarm raised across the fleet, ordered by time.
+func (f *Fleet) Alarms() []VMAlarm {
+	var out []VMAlarm
+	for vm, det := range f.detectors {
+		for _, a := range det.Alarms() {
+			out = append(out, VMAlarm{VM: vm, Alarm: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].VM < out[j].VM
+	})
+	return out
+}

@@ -1,0 +1,17 @@
+package detect
+
+import (
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// workloadModel builds a telemetry model from an explicit profile.
+func workloadModel(prof workload.Profile, seed uint64) (*workload.Model, error) {
+	return workload.NewModel(prof, randx.Derive(seed, 99))
+}
+
+// samp builds a pcm.Sample.
+func samp(t, access, miss float64) pcm.Sample {
+	return pcm.Sample{T: t, Access: access, Miss: miss}
+}

@@ -1,0 +1,119 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+)
+
+// synthStream feeds the detector samples drawn from N(mean, 10) at T_PCM
+// starting at the given time, and returns the end time.
+func synthStream(d *KSTest, r *randx.Rand, start, seconds, mean float64) float64 {
+	const tpcm = 0.01
+	n := int(seconds / tpcm)
+	for i := 0; i < n; i++ {
+		now := start + float64(i+1)*tpcm
+		v := r.Normal(mean, 10)
+		d.Observe(pcm.Sample{T: now, Access: v, Miss: v / 5})
+	}
+	return start + float64(n)*tpcm
+}
+
+func TestKSTestStreakConfirmationTiming(t *testing.T) {
+	// A permanent distribution shift must be declared only after
+	// ConfirmStreaks · Consecutive rejections: with the default 3×4 checks
+	// every 2 s, no earlier than ~24 s after the shift.
+	cfg := DefaultKSTestConfig()
+	d, err := NewKSTest(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(1, 2)
+	now := synthStream(d, r, 0, 50, 1000)
+	if len(d.Alarms()) != 0 {
+		t.Fatalf("alarms on a stationary stream: %+v", d.Alarms())
+	}
+	synthStream(d, r, now, 60, 1200) // clear shift
+	alarms := d.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("shift never declared")
+	}
+	delay := alarms[0].T - now
+	minDelay := float64(cfg.ConfirmStreaks*cfg.Consecutive-1) * cfg.LM
+	if delay < minDelay {
+		t.Fatalf("declared after %.1f s, below the streak floor %.1f s", delay, minDelay)
+	}
+	// Note: the alarm is NOT expected to stay latched forever — without
+	// throttling, the (once-deferred) reference refresh re-learns the
+	// shifted stream as the new baseline; TestKSTestRefreshAdaptsToNewBaseline
+	// covers that, and the closed-loop tests cover the attack case where
+	// throttled references keep the alarm alive.
+}
+
+func TestKSTestSingleStreakConfig(t *testing.T) {
+	// ConfirmStreaks=1 declares at the first streak (the published
+	// protocol used by the §3.2 measurement study).
+	cfg := DefaultKSTestConfig()
+	cfg.ConfirmStreaks = 1
+	cfg.FreezeBaselineOnSuspicion = false
+	d, err := NewKSTest(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(3, 4)
+	now := synthStream(d, r, 0, 40, 1000)
+	synthStream(d, r, now, 30, 1200)
+	alarms := d.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("shift never declared")
+	}
+	if delay := alarms[0].T - now; delay > 15 {
+		t.Fatalf("single-streak declaration took %.1f s, want ≈9 s", delay)
+	}
+}
+
+func TestKSTestRefreshAdaptsToNewBaseline(t *testing.T) {
+	// After a benign permanent shift, the next reference refresh must
+	// adopt the new behaviour and clear the alarm: the false alarm is
+	// bounded by the (deferred) refresh schedule.
+	cfg := DefaultKSTestConfig()
+	d, err := NewKSTest(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(5, 6)
+	now := synthStream(d, r, 0, 40, 1000)
+	synthStream(d, r, now, 120, 1200) // shift persists 2 minutes
+	if !d.Alarmed() {
+		// The alarm must have cleared after a refresh re-learned the
+		// baseline — verify it fired at some point first.
+		if len(d.Alarms()) == 0 {
+			t.Fatal("benign shift never triggered the baseline at all")
+		}
+	} else {
+		t.Fatal("alarm still standing 2 minutes after a benign shift; refresh never adapted")
+	}
+}
+
+func TestKSTestIsolatedAcceptanceDoesNotResetStreaks(t *testing.T) {
+	// Streaks accumulate against the same reference even when separated by
+	// acceptances — the behaviour that preserves false positives on
+	// periodic applications, whose rejections are intermittent.
+	cfg := DefaultKSTestConfig()
+	d, err := NewKSTest(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(7, 8)
+	// Stationary phase to establish a reference.
+	now := synthStream(d, r, 0, 10, 1000)
+	// Alternate: 8 s shifted (one streak of ~4), 2 s back (acceptance), repeatedly.
+	for i := 0; i < 6 && !d.Alarmed(); i++ {
+		now = synthStream(d, r, now, 9, 1250)
+		now = synthStream(d, r, now, 3, 1000)
+	}
+	if !d.Alarmed() {
+		t.Fatal("intermittent rejection streaks never accumulated to a declaration")
+	}
+}

@@ -1,0 +1,120 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/signal"
+	"github.com/memdos/sds/internal/timeseries"
+)
+
+// Profile is the Stage-1 output of SDS: the normal-behaviour statistics of
+// one application, collected while the VM is known to be attack-free
+// (immediately after it is started or migrated, §4.2.1). SDS/B uses the
+// EWMA mean/σ per counter; SDS/P uses the MA-series period.
+type Profile struct {
+	// App names the profiled application.
+	App string
+	// Windows is the number of MA windows the profile was built from.
+	Windows int
+
+	// MeanAccess and StdAccess are μ_E and σ_E of the EWMA'd AccessNum.
+	MeanAccess, StdAccess float64
+	// MeanMiss and StdMiss are μ_E and σ_E of the EWMA'd MissNum.
+	MeanMiss, StdMiss float64
+
+	// Periodic reports whether the application shows a stable repeating
+	// MA pattern (the Stage-1 periodicity check).
+	Periodic bool
+	// PeriodMA is the period in MA windows (0 when not periodic). The
+	// paper's FaceNet example has PeriodMA ≈ 17.
+	PeriodMA int
+}
+
+// Bounds returns the SDS/B normal range [μ−kσ, μ+kσ] for the given counter.
+func (p Profile) Bounds(metric Metric, k float64) (lo, hi float64, err error) {
+	var mean, std float64
+	switch metric {
+	case MetricAccess:
+		mean, std = p.MeanAccess, p.StdAccess
+	case MetricMiss:
+		mean, std = p.MeanMiss, p.StdMiss
+	default:
+		return 0, 0, fmt.Errorf("detect: no bounds for metric %v", metric)
+	}
+	return mean - k*std, mean + k*std, nil
+}
+
+// BuildProfile computes a Profile from attack-free PCM samples using the
+// pipeline of §4.1 (MA with window W and step ΔW, then EWMA with factor α).
+// It needs enough samples for a statistically useful number of MA windows.
+func BuildProfile(app string, samples []pcm.Sample, cfg Config) (Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return Profile{}, err
+	}
+	const minWindows = 20
+	need := cfg.W + (minWindows-1)*cfg.DW
+	if len(samples) < need {
+		return Profile{}, fmt.Errorf("detect: profiling %q needs at least %d samples (%d MA windows), got %d",
+			app, need, minWindows, len(samples))
+	}
+
+	rawA := make([]float64, len(samples))
+	rawM := make([]float64, len(samples))
+	for i, s := range samples {
+		rawA[i] = s.Access
+		rawM[i] = s.Miss
+	}
+	maA, err := timeseries.MovingAverage(rawA, cfg.W, cfg.DW)
+	if err != nil {
+		return Profile{}, err
+	}
+	maM, err := timeseries.MovingAverage(rawM, cfg.W, cfg.DW)
+	if err != nil {
+		return Profile{}, err
+	}
+	ewA, err := timeseries.EWMASeries(maA, cfg.Alpha)
+	if err != nil {
+		return Profile{}, err
+	}
+	ewM, err := timeseries.EWMASeries(maM, cfg.Alpha)
+	if err != nil {
+		return Profile{}, err
+	}
+
+	prof := Profile{
+		App:        app,
+		Windows:    len(maA),
+		MeanAccess: timeseries.Mean(ewA),
+		StdAccess:  timeseries.StdDev(ewA),
+		MeanMiss:   timeseries.Mean(ewM),
+		StdMiss:    timeseries.StdDev(ewM),
+	}
+	// Stage-1 periodicity check on the MA series (EWMA may smooth the
+	// pattern away, §4.2.2 computes periods over MA).
+	if period, ok := signal.IsPeriodic(maA, cfg.PeriodTolerance, periodOptions(cfg, 0)); ok {
+		prof.Periodic = true
+		prof.PeriodMA = period
+	}
+	return prof, nil
+}
+
+// maxProfilePeriod caps the MA-window period the Stage-1 check will accept
+// (60 windows = 30 s with Table 1 parameters). Longer "periods" are slow
+// phase alternation, not the batch-processing cycles SDS/P targets — and a
+// detector window of W_P = 2p would make period monitoring uselessly slow.
+const maxProfilePeriod = 60
+
+// periodOptions builds the estimator options SDS/P and the profiler share.
+// knownPeriod > 0 narrows the minimum candidate period, stabilising
+// estimates on short W_P windows; knownPeriod == 0 (profiling) caps the
+// maximum period instead.
+func periodOptions(cfg Config, knownPeriod int) signal.PeriodOptions {
+	opts := signal.PeriodOptions{}
+	if knownPeriod > 0 {
+		opts.MinPeriod = max(2, knownPeriod/3)
+		return opts
+	}
+	opts.MaxPeriod = maxProfilePeriod
+	return opts
+}

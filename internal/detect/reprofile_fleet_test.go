@@ -1,0 +1,198 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestNewReprofilerValidation(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 130)
+	if _, err := NewReprofiler(workload.KMeans, prof, DefaultConfig(), 5); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+	bad := DefaultConfig()
+	bad.HC = 0
+	if _, err := NewReprofiler(workload.KMeans, prof, bad, 600); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+// shiftedModel returns a k-means telemetry model whose base level moved by
+// the given factor — "the application changed dramatically" (§6).
+func shiftedModel(t *testing.T, factor float64, seed uint64) *workload.Model {
+	t.Helper()
+	prof := workload.MustAppProfile(workload.KMeans)
+	prof.BaseAccess *= factor
+	m, err := workload.NewModel(prof, randx.Derive(seed, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReprofilerRecoversFromApplicationChange(t *testing.T) {
+	cfg := DefaultConfig()
+	prof := steadyProfile(t, workload.KMeans, 131)
+	r, err := NewReprofiler(workload.KMeans, prof, cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: normal behaviour — no persistent alarm.
+	normal := shiftedModel(t, 1.0, 131)
+	now := 0.0
+	feedModel := func(m *workload.Model, seconds float64, env workload.Env) {
+		n := int(seconds / cfg.TPCM)
+		for i := 0; i < n; i++ {
+			now += cfg.TPCM
+			a, miss := m.Sample(cfg.TPCM, env)
+			r.Observe(pcm.Sample{T: now, Access: a, Miss: miss})
+		}
+	}
+	feedModel(normal, 300, workload.Env{})
+	if r.StaleSuspected(120) {
+		t.Fatal("stale suspected during normal behaviour")
+	}
+
+	// Phase 2: the application legitimately changes (base level +60%).
+	// SDS starts alarming persistently — a stale profile, not an attack.
+	changed := shiftedModel(t, 1.6, 132)
+	feedModel(changed, 900, workload.Env{})
+	if !r.Alarmed() {
+		t.Fatal("no alarm after a 60% behavioural shift; the stale-profile scenario did not materialize")
+	}
+	if !r.StaleSuspected(120) {
+		t.Fatal("persistent alarm not flagged as suspected-stale")
+	}
+
+	// Phase 3: the tenant confirms the change; the provider re-profiles
+	// from the rolling buffer (filled with post-change samples).
+	newProf, err := r.Reprofile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newProf.MeanAccess < 1.3*prof.MeanAccess {
+		t.Fatalf("re-profile mean %v did not track the change (was %v)", newProf.MeanAccess, prof.MeanAccess)
+	}
+	if r.Reprofiles() != 1 {
+		t.Fatalf("reprofiles = %d", r.Reprofiles())
+	}
+	feedModel(changed, 300, workload.Env{})
+	if r.Alarmed() {
+		t.Fatal("still alarmed on the new baseline after re-profiling")
+	}
+
+	// Phase 4: an actual attack on the new baseline is still detected.
+	sched := attack.Schedule{Kind: attack.BusLock, Start: now, Ramp: 10}
+	n := int(200 / cfg.TPCM)
+	for i := 0; i < n; i++ {
+		now += cfg.TPCM
+		a, miss := changed.Sample(cfg.TPCM, sched.Env(now, false))
+		r.Observe(pcm.Sample{T: now, Access: a, Miss: miss})
+	}
+	if !r.Alarmed() {
+		t.Fatal("attack on the re-profiled baseline missed")
+	}
+}
+
+func TestReprofileRequiresFullBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	prof := steadyProfile(t, workload.KMeans, 133)
+	r, err := NewReprofiler(workload.KMeans, prof, cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reprofile(); err == nil {
+		t.Fatal("reprofile with an empty buffer accepted")
+	}
+}
+
+func TestFleetBasics(t *testing.T) {
+	f := NewFleet()
+	if err := f.Protect("", &countingDetector{}); err == nil {
+		t.Error("empty VM name accepted")
+	}
+	if err := f.Protect("vm-a", nil); err == nil {
+		t.Error("nil detector accepted")
+	}
+	a := &countingDetector{}
+	b := &countingDetector{alarmed: true}
+	if err := f.Protect("vm-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Protect("vm-b", b); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.Observe("vm-a", pcm.Sample{T: 1, Access: 10, Miss: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Observe("vm-c", pcm.Sample{}); err == nil {
+		t.Error("unknown VM accepted")
+	}
+	if len(a.observed) != 1 {
+		t.Fatalf("vm-a observed %d samples", len(a.observed))
+	}
+	if !f.Alarmed() {
+		t.Fatal("fleet not alarmed while vm-b is")
+	}
+	if got := f.AlarmedVMs(); len(got) != 1 || got[0] != "vm-b" {
+		t.Fatalf("alarmed VMs = %v", got)
+	}
+	f.Unprotect("vm-b")
+	if f.Alarmed() || f.Size() != 1 {
+		t.Fatal("unprotect did not remove vm-b")
+	}
+}
+
+func TestFleetEndToEnd(t *testing.T) {
+	// Two protected VMs on one server; only one is attacked; the fleet
+	// reports exactly that one.
+	cfg := DefaultConfig()
+	f := NewFleet()
+	models := make(map[string]*workload.Model, 2)
+	for _, app := range []string{workload.KMeans, workload.Bayes} {
+		prof := steadyProfile(t, app, 140)
+		det, err := NewSDS(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Protect(app, det); err != nil {
+			t.Fatal(err)
+		}
+		m, err := workload.NewModel(workload.MustAppProfile(app), randx.DeriveString(141, app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[app] = m
+	}
+	sched := attack.Schedule{Kind: attack.Cleanse, Start: 100, Ramp: 10}
+	n := int(300 / cfg.TPCM)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * cfg.TPCM
+		for app, m := range models {
+			env := workload.Env{}
+			if app == workload.KMeans {
+				env = sched.Env(now, false)
+			}
+			a, miss := m.Sample(cfg.TPCM, env)
+			if err := f.Observe(app, pcm.Sample{T: now, Access: a, Miss: miss}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := f.AlarmedVMs()
+	if len(got) != 1 || got[0] != workload.KMeans {
+		t.Fatalf("alarmed VMs = %v, want [kmeans]", got)
+	}
+	alarms := f.Alarms()
+	if len(alarms) == 0 || alarms[0].VM != workload.KMeans {
+		t.Fatalf("fleet alarms = %+v", alarms)
+	}
+}

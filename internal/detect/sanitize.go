@@ -1,0 +1,89 @@
+package detect
+
+import (
+	"math"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// Sanitizer guards a detector against malformed PCM input: NaN or negative
+// counters (counter wrap-around, tool restart) and out-of-order or
+// duplicate timestamps (buffering glitches). Malformed samples are dropped
+// and counted, never forwarded — a hypervisor-resident detector must not
+// corrupt its state because the measurement tool hiccupped.
+//
+// Wrap any Detector:
+//
+//	d, _ := detect.NewSDS(prof, cfg)
+//	s := detect.NewSanitizer(d)
+//	s.Observe(sample) // forwards only well-formed samples
+type Sanitizer struct {
+	inner Detector
+
+	lastT   float64
+	started bool
+	dropped uint64
+}
+
+var _ Detector = (*Sanitizer)(nil)
+
+// NewSanitizer wraps a detector with input validation. A nil inner detector
+// yields a Sanitizer that drops everything (still safe to use).
+func NewSanitizer(inner Detector) *Sanitizer {
+	return &Sanitizer{inner: inner}
+}
+
+// Name implements Detector.
+func (s *Sanitizer) Name() string {
+	if s.inner == nil {
+		return "sanitizer"
+	}
+	return s.inner.Name()
+}
+
+// Observe implements Detector: well-formed samples are forwarded, malformed
+// ones dropped and counted.
+func (s *Sanitizer) Observe(sample pcm.Sample) {
+	if s.inner == nil || !s.valid(sample) {
+		s.dropped++
+		return
+	}
+	s.lastT = sample.T
+	s.started = true
+	s.inner.Observe(sample)
+}
+
+func (s *Sanitizer) valid(sample pcm.Sample) bool {
+	switch {
+	case math.IsNaN(sample.T) || math.IsInf(sample.T, 0):
+		return false
+	case math.IsNaN(sample.Access) || math.IsInf(sample.Access, 0):
+		return false
+	case math.IsNaN(sample.Miss) || math.IsInf(sample.Miss, 0):
+		return false
+	case sample.Access < 0 || sample.Miss < 0:
+		return false
+	case sample.Miss > sample.Access:
+		// More misses than accesses means a counter glitch.
+		return false
+	case s.started && sample.T <= s.lastT:
+		return false
+	}
+	return true
+}
+
+// Alarmed implements Detector.
+func (s *Sanitizer) Alarmed() bool {
+	return s.inner != nil && s.inner.Alarmed()
+}
+
+// Alarms implements Detector.
+func (s *Sanitizer) Alarms() []Alarm {
+	if s.inner == nil {
+		return nil
+	}
+	return s.inner.Alarms()
+}
+
+// Dropped returns the number of malformed samples rejected so far.
+func (s *Sanitizer) Dropped() uint64 { return s.dropped }

@@ -1,0 +1,159 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/timeseries"
+)
+
+// SDSB is the Boundary-based Statistical Detection Scheme (paper §4.2.1).
+// It preprocesses each counter with a sliding-window moving average and an
+// EWMA, and flags an attack when the smoothed value leaves the profiled
+// normal range [μ_E−kσ_E, μ_E+kσ_E] for H_C consecutive windows — a drop in
+// AccessNum signals bus locking, a rise in MissNum signals LLC cleansing.
+type SDSB struct {
+	cfg  Config
+	prof Profile
+
+	loA, hiA float64
+	loM, hiM float64
+
+	maA, maM *timeseries.MovingAverager
+	ewA, ewM *timeseries.EWMA
+
+	windows    int
+	violA      int
+	violM      int
+	alarmed    bool
+	alarms     []Alarm
+	windowHook func(WindowStat)
+}
+
+var _ Detector = (*SDSB)(nil)
+
+// SDSBOption customizes an SDSB detector.
+type SDSBOption interface{ applySDSB(*SDSB) }
+
+type sdsbWindowHook func(WindowStat)
+
+func (h sdsbWindowHook) applySDSB(d *SDSB) { d.windowHook = h }
+
+// WithSDSBWindowHook registers a callback invoked at every MA window
+// boundary with the preprocessed values — used to trace the EWMA series of
+// the paper's Fig. 7.
+func WithSDSBWindowHook(hook func(WindowStat)) SDSBOption {
+	return sdsbWindowHook(hook)
+}
+
+// NewSDSB returns an SDS/B detector for an application with the given
+// Stage-1 profile.
+func NewSDSB(prof Profile, cfg Config, opts ...SDSBOption) (*SDSB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prof.StdAccess < 0 || prof.StdMiss < 0 {
+		return nil, fmt.Errorf("detect: profile for %q has negative σ", prof.App)
+	}
+	d := &SDSB{cfg: cfg, prof: prof}
+	var err error
+	if d.loA, d.hiA, err = prof.Bounds(MetricAccess, cfg.K); err != nil {
+		return nil, err
+	}
+	if d.loM, d.hiM, err = prof.Bounds(MetricMiss, cfg.K); err != nil {
+		return nil, err
+	}
+	if d.maA, err = timeseries.NewMovingAverager(cfg.W, cfg.DW); err != nil {
+		return nil, err
+	}
+	if d.maM, err = timeseries.NewMovingAverager(cfg.W, cfg.DW); err != nil {
+		return nil, err
+	}
+	if d.ewA, err = timeseries.NewEWMA(cfg.Alpha); err != nil {
+		return nil, err
+	}
+	if d.ewM, err = timeseries.NewEWMA(cfg.Alpha); err != nil {
+		return nil, err
+	}
+	for _, o := range opts {
+		o.applySDSB(d)
+	}
+	return d, nil
+}
+
+// Name implements Detector.
+func (d *SDSB) Name() string { return "SDS/B" }
+
+// Profile returns the profile the detector was built with.
+func (d *SDSB) Profile() Profile { return d.prof }
+
+// Observe implements Detector.
+func (d *SDSB) Observe(s pcm.Sample) {
+	mA, okA := d.maA.Push(s.Access)
+	mM, okM := d.maM.Push(s.Miss)
+	if !okA && !okM {
+		return
+	}
+	// Both averagers share the same geometry, so they emit together.
+	eA := d.ewA.Push(mA)
+	eM := d.ewM.Push(mM)
+	d.windows++
+
+	if d.windowHook != nil {
+		d.windowHook(WindowStat{
+			Index:      d.windows - 1,
+			T:          s.T,
+			MAAccess:   mA,
+			MAMiss:     mM,
+			EWMAAccess: eA,
+			EWMAMiss:   eM,
+		})
+	}
+
+	// Condition C_n (Eq. 3), tracked per counter.
+	d.violA = nextViolationCount(d.violA, eA < d.loA || eA > d.hiA)
+	d.violM = nextViolationCount(d.violM, eM < d.loM || eM > d.hiM)
+
+	nowAlarmed := d.violA >= d.cfg.HC || d.violM >= d.cfg.HC
+	if nowAlarmed && !d.alarmed {
+		metric, reason := MetricAccess, violationReason("AccessNum", eA, d.loA, d.hiA)
+		if d.violM >= d.cfg.HC {
+			metric, reason = MetricMiss, violationReason("MissNum", eM, d.loM, d.hiM)
+		}
+		d.alarms = append(d.alarms, Alarm{
+			T:        s.T,
+			Detector: d.Name(),
+			Metric:   metric,
+			Reason:   reason,
+		})
+	}
+	d.alarmed = nowAlarmed
+}
+
+// Alarmed implements Detector.
+func (d *SDSB) Alarmed() bool { return d.alarmed }
+
+// Alarms implements Detector.
+func (d *SDSB) Alarms() []Alarm {
+	out := make([]Alarm, len(d.alarms))
+	copy(out, d.alarms)
+	return out
+}
+
+// Violations returns the current consecutive-violation counts for the two
+// counters (diagnostics and tests).
+func (d *SDSB) Violations() (access, miss int) { return d.violA, d.violM }
+
+func nextViolationCount(count int, violated bool) int {
+	if !violated {
+		return 0
+	}
+	return count + 1
+}
+
+func violationReason(counter string, v, lo, hi float64) string {
+	if v < lo {
+		return fmt.Sprintf("%s EWMA %.4g below normal range [%.4g, %.4g]", counter, v, lo, hi)
+	}
+	return fmt.Sprintf("%s EWMA %.4g above normal range [%.4g, %.4g]", counter, v, lo, hi)
+}

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestSDSPEmitsBothMetrics(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 90)
+	counts := map[Metric]int{}
+	d, err := NewSDSP(prof, DefaultConfig(), WithSDSPEstimateHook(func(p PeriodStat) {
+		counts[p.Metric]++
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(d, genSamples(t, workload.FaceNet, 91, 120, attack.Schedule{}))
+	if counts[MetricAccess] == 0 || counts[MetricMiss] == 0 {
+		t.Fatalf("estimate counts per metric = %v, want both counters analysed", counts)
+	}
+	if counts[MetricAccess] != counts[MetricMiss] {
+		t.Fatalf("metric estimate counts diverged: %v", counts)
+	}
+}
+
+func TestSDSPCleansingDisruptsMissPeriodQuickly(t *testing.T) {
+	// The dual-metric design exists so that cleansing — which leaves the
+	// AccessNum waveform intact but explodes MissNum — is caught at the
+	// same structural delay as bus locking (paper Fig. 11: SDS delays stay
+	// within 15–30 s for both attacks).
+	cfg := DefaultConfig()
+	prof := steadyProfile(t, workload.FaceNet, 92)
+	d, err := NewSDSP(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := attack.Schedule{Kind: attack.Cleanse, Start: 300, Ramp: 10}
+	feed(d, genSamples(t, workload.FaceNet, 93, 400, sched))
+	at := firstAlarmAfter(d, 300)
+	if at < 0 {
+		t.Fatal("cleansing not detected")
+	}
+	// The miss-side disruption keeps the total near the structural floor
+	// of H_P·ΔW_P·ΔW·T_PCM = 25 s (occasionally below it when pre-attack
+	// deviations had already accumulated).
+	if delay := at - 300; delay < 15 || delay > 45 {
+		t.Fatalf("cleansing delay %v s, want ≈15–45", delay)
+	}
+}
+
+func TestSDSPStructuralDelayFloor(t *testing.T) {
+	// §4.2.2: with a clean (deviation-free) history, detection can be no
+	// faster than H_P·ΔW_P·ΔW·T_PCM seconds after the period changes.
+	// Verified on a noise-free synthetic periodic stream whose period
+	// jumps from 17 to 25 MA windows.
+	cfg := DefaultConfig()
+	prof := Profile{
+		App: "synthetic", Periodic: true, PeriodMA: 17,
+		MeanAccess: 100, StdAccess: 10, MeanMiss: 20, StdMiss: 2,
+	}
+	d, err := NewSDSP(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(start int, n int, rawPeriod int) int {
+		for i := 0; i < n; i++ {
+			tick := start + i
+			phase := float64(tick%rawPeriod) / float64(rawPeriod)
+			v := 100 + 30*phase // sawtooth
+			d.Observe(samp(float64(tick+1)*cfg.TPCM, v, v/5))
+		}
+		return start + n
+	}
+	normalRaw := 17 * cfg.DW
+	tick := push(0, 30*normalRaw, normalRaw)
+	if d.Alarmed() || len(d.Alarms()) != 0 {
+		t.Fatalf("false alarm on a clean periodic stream: %+v", d.Alarms())
+	}
+	changeT := float64(tick) * cfg.TPCM
+	push(tick, 30*normalRaw, 25*cfg.DW)
+	at := firstAlarmAfter(d, changeT)
+	if at < 0 {
+		t.Fatal("period change not detected")
+	}
+	floor := float64(cfg.HP*cfg.DWP*cfg.DW) * cfg.TPCM
+	if at-changeT < floor-1e-9 {
+		t.Fatalf("delay %v below structural floor %v", at-changeT, floor)
+	}
+}

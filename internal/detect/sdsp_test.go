@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestNewSDSPRequiresPeriodicProfile(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 40)
+	if _, err := NewSDSP(prof, DefaultConfig()); err == nil {
+		t.Fatal("non-periodic profile accepted")
+	}
+	bad := DefaultConfig()
+	bad.HP = 0
+	periodic := steadyProfile(t, workload.FaceNet, 40)
+	if _, err := NewSDSP(periodic, bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSDSPWindowSize(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 41)
+	d, err := NewSDSP(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WP() != 2*prof.PeriodMA {
+		t.Fatalf("W_P = %d, want 2·%d", d.WP(), prof.PeriodMA)
+	}
+}
+
+func TestSDSPNoAlarmWithoutAttack(t *testing.T) {
+	for _, app := range workload.PeriodicApps() {
+		prof := steadyProfile(t, app, 42)
+		d, err := NewSDSP(prof, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(d, genSamples(t, app, 43, 300, attack.Schedule{}))
+		if alarms := d.Alarms(); len(alarms) > 1 {
+			t.Errorf("%s: %d false alarms without attack", app, len(alarms))
+		}
+	}
+}
+
+func TestSDSPDetectsPeriodStretch(t *testing.T) {
+	for _, app := range workload.PeriodicApps() {
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			prof := steadyProfile(t, app, 44)
+			d, err := NewSDSP(prof, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched := attack.Schedule{Kind: kind, Start: 300, Ramp: 10}
+			feed(d, genSamples(t, app, 45, 600, sched))
+			at := firstAlarmTime(d)
+			if at < 300 {
+				t.Errorf("%s/%v: alarm at %v, want after 300", app, kind, at)
+				continue
+			}
+			if delay := at - 300; delay > 90 {
+				t.Errorf("%s/%v: detection delay %v s, want < 90", app, kind, delay)
+			}
+		}
+	}
+}
+
+func TestSDSPEstimateHookTracksPeriod(t *testing.T) {
+	// Fig. 8(b): before the attack the computed period hovers at the
+	// normal period; after it, estimates deviate.
+	prof := steadyProfile(t, workload.FaceNet, 46)
+	var stats []PeriodStat
+	d, err := NewSDSP(prof, DefaultConfig(), WithSDSPEstimateHook(func(p PeriodStat) {
+		stats = append(stats, p)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := attack.Schedule{Kind: attack.BusLock, Start: 300, Ramp: 10}
+	feed(d, genSamples(t, workload.FaceNet, 47, 600, sched))
+	if len(stats) < 20 {
+		t.Fatalf("only %d estimates", len(stats))
+	}
+	var preGood, preTotal, postDeviant, postTotal int
+	for _, s := range stats {
+		if s.T < 300 {
+			preTotal++
+			if !s.Deviant {
+				preGood++
+			}
+		} else if s.T > 330 {
+			postTotal++
+			if s.Deviant {
+				postDeviant++
+			}
+		}
+	}
+	if preTotal == 0 || postTotal == 0 {
+		t.Fatalf("estimates not spread across stages: %d/%d", preTotal, postTotal)
+	}
+	if frac := float64(preGood) / float64(preTotal); frac < 0.8 {
+		t.Errorf("only %v of pre-attack estimates matched the normal period", frac)
+	}
+	if frac := float64(postDeviant) / float64(postTotal); frac < 0.8 {
+		t.Errorf("only %v of post-attack estimates deviated", frac)
+	}
+}
+
+func TestSDSPDeviationCountingAndClear(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 48)
+	d, err := NewSDSP(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attack window long enough to alarm, then recovery.
+	sched := attack.Schedule{Kind: attack.BusLock, Start: 100, Ramp: 5, Stop: 250}
+	feed(d, genSamples(t, workload.FaceNet, 49, 500, sched))
+	if len(d.Alarms()) == 0 {
+		t.Fatal("attack not detected")
+	}
+	if d.Alarmed() {
+		t.Fatal("alarm still latched 250 s after the attack ended")
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeriodEstimatorAblationValidation(t *testing.T) {
+	c := fastConfig()
+	if _, err := c.PeriodEstimatorAblation(0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestPeriodEstimatorAblationReproducesMotivation(t *testing.T) {
+	// §4.2.2: "solely using DFT or ACF cannot accurately determine the
+	// true frequencies" — the combined method must beat both single
+	// methods, ACF-only must show multiple-of-period errors, and DFT-only
+	// must show more false detections on trended noise than the combined
+	// method.
+	c := fastConfig()
+	results, err := c.PeriodEstimatorAblation(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PeriodEstimatorResult{}
+	for _, r := range results {
+		byName[r.Method] = r
+		total := r.Correct + r.MultipleErrors + r.OtherErrors
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%s: outcome fractions sum to %v", r.Method, total)
+		}
+	}
+	combined, dft, acf := byName["DFT-ACF"], byName["DFT-only"], byName["ACF-only"]
+
+	if combined.Correct < 0.75 {
+		t.Errorf("combined accuracy %v, want ≥ 0.75", combined.Correct)
+	}
+	if combined.Correct < dft.Correct && combined.Correct < acf.Correct {
+		t.Errorf("combined (%v) beat neither DFT-only (%v) nor ACF-only (%v)",
+			combined.Correct, dft.Correct, acf.Correct)
+	}
+	if acf.MultipleErrors <= combined.MultipleErrors {
+		t.Errorf("ACF-only multiple-errors %v not above combined %v — the paper's ACF failure mode is missing",
+			acf.MultipleErrors, combined.MultipleErrors)
+	}
+	if dft.FalseDetections <= combined.FalseDetections {
+		t.Errorf("DFT-only false detections %v not above combined %v — the paper's DFT failure mode is missing",
+			dft.FalseDetections, combined.FalseDetections)
+	}
+}

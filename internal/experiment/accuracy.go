@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/metrics"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// AccuracyCell is one bar of the paper's Figs. 9–11: the distribution of
+// recall, specificity and detection delay across runs for one
+// (application, attack, scheme) combination.
+type AccuracyCell struct {
+	App    string
+	Attack attack.Kind
+	Scheme Scheme
+
+	Recall      metrics.Distribution
+	Specificity metrics.Distribution
+	// Delay summarizes detection delays of the runs that detected the
+	// attack at all; DetectionRate is the fraction that did.
+	Delay         metrics.Distribution
+	DetectionRate float64
+}
+
+// Accuracy reproduces Figs. 9 (recall), 10 (specificity) and 11 (delay):
+// c.Runs seeded runs for every application in apps, both attacks, and every
+// scheme the paper evaluates for that application.
+func (c Config) Accuracy(apps []string) ([]AccuracyCell, error) {
+	if len(apps) == 0 {
+		apps = workload.AppNames()
+	}
+	var cells []AccuracyCell
+	for _, app := range apps {
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			for _, scheme := range SchemesFor(app) {
+				cell, err := c.accuracyCell(app, kind, scheme)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+func (c Config) accuracyCell(app string, kind attack.Kind, scheme Scheme) (AccuracyCell, error) {
+	var (
+		recalls = make([]float64, 0, c.Runs)
+		specs   = make([]float64, 0, c.Runs)
+		delays  = make([]float64, 0, c.Runs)
+	)
+	detected := 0
+	for run := 0; run < c.Runs; run++ {
+		out, err := c.DetectionRun(app, kind, scheme, run)
+		if err != nil {
+			return AccuracyCell{}, fmt.Errorf("%s/%v/%s run %d: %w", app, kind, scheme, run, err)
+		}
+		recalls = append(recalls, out.Recall*100)
+		specs = append(specs, out.Specificity*100)
+		if out.Detected {
+			detected++
+		}
+		if out.Delay >= 0 {
+			delays = append(delays, out.Delay)
+		}
+	}
+	return AccuracyCell{
+		App:           app,
+		Attack:        kind,
+		Scheme:        scheme,
+		Recall:        metrics.Summarize(recalls),
+		Specificity:   metrics.Summarize(specs),
+		Delay:         metrics.Summarize(delays),
+		DetectionRate: float64(detected) / float64(c.Runs),
+	}, nil
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/membus"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// DefenseResult is one cell of the cache-partitioning defense study. The
+// paper's related work (§2.3) argues that performance-isolation defenses
+// are insufficient: way partitioning stops LLC cleansing (at the cost of
+// wasted cache) but cannot stop the bus-locking attack, because the bus is
+// still locked during atomic operations. This study reproduces that
+// argument on the micro-architectural simulator.
+type DefenseResult struct {
+	Attack      attack.Kind
+	Partitioned bool
+
+	// MissRate is the victim's LLC miss rate during the attack window.
+	MissRate float64
+	// AccessRate is the victim's LLC accesses per second during the attack
+	// window.
+	AccessRate float64
+	// ProgressRatio is the victim's useful-work rate during the attack
+	// window (1 = unimpeded).
+	ProgressRatio float64
+}
+
+// DefenseStudy runs the partitioning experiment: a victim working-set loop
+// and an attacker VM share a machine, with and without CAT-style way
+// partitioning, under each attack. Durations are fixed (10 s settle, 20 s
+// attack window); the simulation is deterministic given c.Seed.
+func (c Config) DefenseStudy() ([]DefenseResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var out []DefenseResult
+	for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+		for _, partitioned := range []bool{false, true} {
+			r, err := c.defenseCell(kind, partitioned)
+			if err != nil {
+				return nil, fmt.Errorf("defense %v partitioned=%v: %w", kind, partitioned, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (c Config) defenseCell(kind attack.Kind, partitioned bool) (DefenseResult, error) {
+	const (
+		settle   = 10.0
+		duration = 30.0
+		tick     = 0.01
+	)
+	cache, err := cachesim.New(cachesim.Config{SizeBytes: 512 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	bus, err := membus.New(2e6, 0.95)
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	m, err := vmm.NewMachine(cache, bus)
+	if err != nil {
+		return DefenseResult{}, err
+	}
+
+	victim, err := workload.NewLoop("victim", 0, 64*1024, 5e5, randx.Derive(c.Seed, 101))
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	victimVM, err := m.AddVM("victim", victim)
+	if err != nil {
+		return DefenseResult{}, err
+	}
+
+	var attackerWorkload vmm.Workload
+	switch kind {
+	case attack.BusLock:
+		attackerWorkload, err = attack.NewBusLocker(settle, 0.9, randx.Derive(c.Seed, 102))
+	case attack.Cleanse:
+		attackerWorkload, err = attack.NewCleanser(settle, 1e6, randx.Derive(c.Seed, 103))
+	default:
+		return DefenseResult{}, fmt.Errorf("experiment: defense study needs a concrete attack, got %v", kind)
+	}
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	attackerVM, err := m.AddVM(attackerWorkload.Name(), attackerWorkload)
+	if err != nil {
+		return DefenseResult{}, err
+	}
+
+	if partitioned {
+		// Victim gets 6 of 8 ways, the attacker the remaining 2 — the
+		// fairness-based partitioning of the defenses in §2.3.
+		if err := cache.Partition(cachesim.Owner(victimVM.ID()), 0, 6); err != nil {
+			return DefenseResult{}, err
+		}
+		if err := cache.Partition(cachesim.Owner(attackerVM.ID()), 6, 2); err != nil {
+			return DefenseResult{}, err
+		}
+	}
+
+	if err := m.Run(settle, tick); err != nil {
+		return DefenseResult{}, err
+	}
+	statsBefore, err := m.CacheStats(victimVM.ID())
+	if err != nil {
+		return DefenseResult{}, err
+	}
+	progressBefore := victimVM.Progress()
+
+	if err := m.Run(duration, tick); err != nil {
+		return DefenseResult{}, err
+	}
+	statsAfter, err := m.CacheStats(victimVM.ID())
+	if err != nil {
+		return DefenseResult{}, err
+	}
+
+	window := duration - settle
+	accesses := float64(statsAfter.Accesses - statsBefore.Accesses)
+	misses := float64(statsAfter.Misses - statsBefore.Misses)
+	res := DefenseResult{
+		Attack:        kind,
+		Partitioned:   partitioned,
+		AccessRate:    accesses / window,
+		ProgressRatio: (victimVM.Progress() - progressBefore) / window,
+	}
+	if accesses > 0 {
+		res.MissRate = misses / accesses
+	}
+	return res, nil
+}

@@ -1,0 +1,46 @@
+package experiment
+
+// This file records the values the paper reports, so that the harness (and
+// EXPERIMENTS.md) can print measured results side by side with the
+// published ones. Ranges are [lo, hi] in the unit of the experiment.
+
+// PaperKStestFalseAlarmRate is the §3.2 study: the fraction of attack-free
+// L_R intervals in which KStest declares an attack. The paper reports
+// "more than 60%" for TeraSort; Join is not reported and carries the value
+// of its sibling Hive queries.
+var PaperKStestFalseAlarmRate = map[string]float64{
+	"bayes":       0.30,
+	"svm":         0.35,
+	"kmeans":      0.20,
+	"pca":         0.60,
+	"aggregation": 0.40,
+	"join":        0.40, // not reported; Hive siblings Aggregation/Scan are 40%
+	"scan":        0.40,
+	"terasort":    0.60, // "more than 60%"
+	"pagerank":    0.30,
+	"facenet":     0.55,
+}
+
+// Paper evaluation ranges (§5.2).
+var (
+	// PaperRecallMedian is the median recall of both SDS and KStest.
+	PaperRecallMedian = 100.0
+	// PaperSDSSpecificityRange is SDS's specificity across applications.
+	PaperSDSSpecificityRange = [2]float64{90, 100}
+	// PaperKStestSpecificityRange is the baseline's specificity range.
+	PaperKStestSpecificityRange = [2]float64{30, 80}
+	// PaperSDSBSpecificityRange is standalone SDS/B on periodic apps.
+	PaperSDSBSpecificityRange = [2]float64{94, 97}
+	// PaperSDSPSpecificityRange is standalone SDS/P on periodic apps.
+	PaperSDSPSpecificityRange = [2]float64{93, 94}
+	// PaperSDSDelayRange is SDS's detection delay in seconds.
+	PaperSDSDelayRange = [2]float64{15, 30}
+	// PaperKStestDelayRange is the baseline's detection delay in seconds.
+	PaperKStestDelayRange = [2]float64{20, 50}
+	// PaperSDSOverheadRange is SDS's normalized execution time.
+	PaperSDSOverheadRange = [2]float64{1.01, 1.02}
+	// PaperKStestOverheadRange is the baseline's normalized execution time.
+	PaperKStestOverheadRange = [2]float64{1.03, 1.08}
+	// PaperFaceNetPeriod is the FaceNet MA-series period of Fig. 8.
+	PaperFaceNetPeriod = 17
+)

@@ -1,0 +1,224 @@
+// Package experiment reproduces the paper's measurement study (§3) and
+// evaluation (§5): every figure and table has a runner here that assembles
+// the workload models, attack schedules and detectors, executes seeded
+// closed-loop runs, and reports the same statistics the paper plots.
+// EXPERIMENTS.md records how the outputs compare with the published values.
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/metrics"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// Scheme identifies a detection scheme under evaluation.
+type Scheme string
+
+// The schemes of the paper's evaluation (§5.1).
+const (
+	SchemeSDS    Scheme = "SDS"    // combined system
+	SchemeSDSB   Scheme = "SDS/B"  // boundary-based alone
+	SchemeSDSP   Scheme = "SDS/P"  // period-based alone (periodic apps only)
+	SchemeKSTest Scheme = "KStest" // baseline of Zhang et al.
+	SchemeNone   Scheme = "none"   // no detection (overhead baseline)
+)
+
+// Config parameterizes the evaluation harness. Construct with
+// DefaultConfig and override fields as needed.
+type Config struct {
+	// Seed drives every random choice; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Runs is the number of repetitions per cell (the paper uses 20).
+	Runs int
+	// ProfileSeconds is the Stage-1 attack-free profiling duration. It
+	// must cover enough execution-phase cycles of the slowest application
+	// for stable μ/σ estimates (k-means alternates phases every ~2.5 min,
+	// so the default is ~33 min of virtual time — cheap in simulation).
+	ProfileSeconds float64
+	// StageSeconds is the length of each evaluation stage: the run lasts
+	// 2·StageSeconds with the attack starting at StageSeconds (the paper
+	// uses 300 s + 300 s).
+	StageSeconds float64
+	// EpochSeconds is the accuracy-scoring epoch length.
+	EpochSeconds float64
+	// RampMin and RampMax bound the attacker's randomized ramp-up time.
+	RampMin, RampMax float64
+	// Detect carries the SDS parameters (Table 1).
+	Detect detect.Config
+	// KSTest carries the baseline parameters.
+	KSTest detect.KSTestConfig
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Runs:           20,
+		ProfileSeconds: 2000,
+		StageSeconds:   300,
+		EpochSeconds:   30,
+		RampMin:        8,
+		RampMax:        18,
+		Detect:         detect.DefaultConfig(),
+		KSTest:         detect.DefaultKSTestConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Runs <= 0:
+		return fmt.Errorf("experiment: Runs must be positive, got %d", c.Runs)
+	case c.ProfileSeconds <= 0 || c.StageSeconds <= 0 || c.EpochSeconds <= 0:
+		return fmt.Errorf("experiment: durations must be positive: %+v", c)
+	case c.RampMin < 0 || c.RampMax < c.RampMin:
+		return fmt.Errorf("experiment: bad ramp range [%v, %v]", c.RampMin, c.RampMax)
+	}
+	if err := c.Detect.Validate(); err != nil {
+		return err
+	}
+	return c.KSTest.Validate()
+}
+
+// SchemesFor returns the schemes the paper evaluates for an application:
+// SDS and KStest everywhere, plus standalone SDS/B and SDS/P for the
+// periodic applications (PCA, FaceNet).
+func SchemesFor(app string) []Scheme {
+	prof := workload.MustAppProfile(app)
+	if prof.Periodic {
+		return []Scheme{SchemeSDS, SchemeSDSB, SchemeSDSP, SchemeKSTest}
+	}
+	return []Scheme{SchemeSDS, SchemeKSTest}
+}
+
+// ThrottleState adapts the KStest throttling callbacks to the telemetry
+// environment: while set, co-located VMs (attacker included) are paused.
+type ThrottleState struct{ paused bool }
+
+// PauseOthers implements detect.Throttler.
+func (f *ThrottleState) PauseOthers() { f.paused = true }
+
+// ResumeOthers implements detect.Throttler.
+func (f *ThrottleState) ResumeOthers() { f.paused = false }
+
+// Paused reports whether co-located VMs are currently throttled.
+func (f *ThrottleState) Paused() bool { return f.paused }
+
+// buildProfile runs Stage 1: an attack-free profiling pass for the app.
+func (c Config) buildProfile(app string, seed uint64) (detect.Profile, error) {
+	model, err := workload.NewModel(workload.MustAppProfile(app), randx.DeriveString(seed, app+"/profile"))
+	if err != nil {
+		return detect.Profile{}, err
+	}
+	tpcm := c.Detect.TPCM
+	n := int(c.ProfileSeconds / tpcm)
+	samples := make([]pcm.Sample, n)
+	for i := 0; i < n; i++ {
+		a, m := model.Sample(tpcm, workload.Env{})
+		samples[i] = pcm.Sample{T: float64(i+1) * tpcm, Access: a, Miss: m}
+	}
+	return detect.BuildProfile(app, samples, c.Detect)
+}
+
+// newDetector constructs the scheme's detector from a Stage-1 profile. The
+// returned ThrottleState is non-nil only for KStest.
+func (c Config) newDetector(scheme Scheme, prof detect.Profile) (detect.Detector, *ThrottleState, error) {
+	switch scheme {
+	case SchemeSDS:
+		d, err := detect.NewSDS(prof, c.Detect)
+		return d, nil, err
+	case SchemeSDSB:
+		d, err := detect.NewSDSB(prof, c.Detect)
+		return d, nil, err
+	case SchemeSDSP:
+		d, err := detect.NewSDSP(prof, c.Detect)
+		return d, nil, err
+	case SchemeKSTest:
+		flag := &ThrottleState{}
+		d, err := detect.NewKSTest(c.KSTest, flag)
+		return d, flag, err
+	default:
+		return nil, nil, fmt.Errorf("experiment: unknown scheme %q", scheme)
+	}
+}
+
+// BuildDetector runs Stage-1 profiling for the app and constructs the
+// scheme's detector. The returned ThrottleState is never nil; it stays
+// false for throttle-free schemes. This is the entry point interactive
+// tools use (cmd/sdsmon).
+func (c Config) BuildDetector(app string, scheme Scheme, seed uint64) (detect.Profile, detect.Detector, *ThrottleState, error) {
+	if err := c.Validate(); err != nil {
+		return detect.Profile{}, nil, nil, err
+	}
+	prof, err := c.buildProfile(app, seed)
+	if err != nil {
+		return detect.Profile{}, nil, nil, fmt.Errorf("profile %s: %w", app, err)
+	}
+	det, flag, err := c.newDetector(scheme, prof)
+	if err != nil {
+		return detect.Profile{}, nil, nil, fmt.Errorf("build %s for %s: %w", scheme, app, err)
+	}
+	if flag == nil {
+		flag = &ThrottleState{}
+	}
+	return prof, det, flag, nil
+}
+
+// DetectionRun executes one closed-loop evaluation run: StageSeconds
+// without attack, then StageSeconds under the given attack, with the
+// detector observing PCM samples in real time. It returns the epoch-scored
+// outcome.
+func (c Config) DetectionRun(app string, kind attack.Kind, scheme Scheme, run int) (metrics.Outcome, error) {
+	if err := c.Validate(); err != nil {
+		return metrics.Outcome{}, err
+	}
+	seed := randx.Derive(c.Seed, uint64(run)).Uint64()
+	prof, err := c.buildProfile(app, seed)
+	if err != nil {
+		return metrics.Outcome{}, fmt.Errorf("profile %s: %w", app, err)
+	}
+	det, flag, err := c.newDetector(scheme, prof)
+	if err != nil {
+		return metrics.Outcome{}, fmt.Errorf("build %s for %s: %w", scheme, app, err)
+	}
+	if flag == nil {
+		flag = &ThrottleState{} // stays false for throttle-free schemes
+	}
+
+	runRng := randx.DeriveString(seed, app+"/run")
+	model, err := workload.NewModel(workload.MustAppProfile(app), runRng)
+	if err != nil {
+		return metrics.Outcome{}, err
+	}
+	sched := attack.Schedule{
+		Kind:  kind,
+		Start: c.StageSeconds,
+		Ramp:  runRng.Uniform(c.RampMin, c.RampMax),
+	}
+
+	tpcm := c.Detect.TPCM
+	total := 2 * c.StageSeconds
+	n := int(total / tpcm)
+	states := make([]metrics.AlarmState, n)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * tpcm
+		a, m := model.Sample(tpcm, sched.Env(now, flag.paused))
+		det.Observe(pcm.Sample{T: now, Access: a, Miss: m})
+		states[i] = metrics.AlarmState{T: now, Alarmed: det.Alarmed()}
+	}
+
+	scorer := metrics.Scorer{
+		RunSeconds:   total,
+		AttackStart:  c.StageSeconds,
+		EpochSeconds: c.EpochSeconds,
+	}
+	if kind == attack.None {
+		scorer.AttackStart = 0
+	}
+	return scorer.Score(states)
+}

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/signal"
+	"github.com/memdos/sds/internal/timeseries"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// ExplorationResult is one row of the §3.4 exploration study: the paper
+// tried spectral coherence, cross-correlation and Pearson correlation as
+// attack signals before designing SDS, and found that none of them shows a
+// usable decrease once an attack starts. Each correlation is computed
+// between consecutive segments of the AccessNum series, averaged within the
+// attack-free and under-attack halves of a run.
+type ExplorationResult struct {
+	App    string
+	Attack attack.Kind
+
+	// PearsonBefore/After are mean Pearson correlations of consecutive
+	// segments before and during the attack.
+	PearsonBefore, PearsonAfter float64
+	// CrossCorrBefore/After are the mean peak cross-correlations.
+	CrossCorrBefore, CrossCorrAfter float64
+	// CoherenceBefore/After are the mean spectral coherences.
+	CoherenceBefore, CoherenceAfter float64
+}
+
+// Separation quantifies how much an approach's statistic drops under
+// attack (positive = drops, i.e. potentially usable as a detector signal).
+func (r ExplorationResult) Separation(approach string) (float64, error) {
+	switch approach {
+	case "pearson":
+		return r.PearsonBefore - r.PearsonAfter, nil
+	case "crosscorr":
+		return r.CrossCorrBefore - r.CrossCorrAfter, nil
+	case "coherence":
+		return r.CoherenceBefore - r.CoherenceAfter, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown exploration approach %q", approach)
+	}
+}
+
+// ExplorationApproaches lists the §3.4 approaches in presentation order.
+func ExplorationApproaches() []string { return []string{"pearson", "crosscorr", "coherence"} }
+
+// Exploration reproduces the §3.4 study for one application and attack:
+// seconds/2 attack-free, seconds/2 under attack, correlations computed over
+// consecutive windows of segmentSeconds.
+func (c Config) Exploration(app string, kind attack.Kind, seconds, segmentSeconds float64) (ExplorationResult, error) {
+	if err := c.Validate(); err != nil {
+		return ExplorationResult{}, err
+	}
+	if kind != attack.BusLock && kind != attack.Cleanse {
+		return ExplorationResult{}, fmt.Errorf("experiment: exploration requires a concrete attack, got %v", kind)
+	}
+	if segmentSeconds <= 0 || seconds < 4*segmentSeconds {
+		return ExplorationResult{}, fmt.Errorf("experiment: need ≥ 4 segments of %v s in %v s", segmentSeconds, seconds)
+	}
+	prof, err := workload.AppProfile(app)
+	if err != nil {
+		return ExplorationResult{}, err
+	}
+	model, err := workload.NewModel(prof, randx.DeriveString(c.Seed, app+"/exploration"))
+	if err != nil {
+		return ExplorationResult{}, err
+	}
+	sched := attack.Schedule{Kind: kind, Start: seconds / 2, Ramp: 5}
+
+	tpcm := c.Detect.TPCM
+	n := int(seconds / tpcm)
+	series := make([]float64, n)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * tpcm
+		a, _ := model.Sample(tpcm, sched.Env(now, false))
+		series[i] = a
+	}
+
+	segLen := int(segmentSeconds / tpcm)
+	half := n / 2
+	res := ExplorationResult{App: app, Attack: kind}
+	var err2 error
+	res.PearsonBefore, res.CrossCorrBefore, res.CoherenceBefore, err2 = segmentCorrelations(series[:half], segLen)
+	if err2 != nil {
+		return ExplorationResult{}, err2
+	}
+	// Skip the ramp in the attack half so the statistics describe the
+	// steady attacked state.
+	rampSamples := int(sched.Ramp / tpcm)
+	res.PearsonAfter, res.CrossCorrAfter, res.CoherenceAfter, err2 = segmentCorrelations(series[half+rampSamples:], segLen)
+	if err2 != nil {
+		return ExplorationResult{}, err2
+	}
+	return res, nil
+}
+
+// segmentCorrelations splits the series into consecutive segments and
+// returns the mean Pearson correlation, peak cross-correlation, and
+// spectral coherence of adjacent segment pairs.
+func segmentCorrelations(series []float64, segLen int) (pearson, crosscorr, coherence float64, err error) {
+	segments := len(series) / segLen
+	if segments < 2 {
+		return 0, 0, 0, fmt.Errorf("experiment: only %d segments available", segments)
+	}
+	var pSum, xSum, cSum float64
+	pairs := 0
+	for i := 0; i+1 < segments; i++ {
+		a := series[i*segLen : (i+1)*segLen]
+		b := series[(i+1)*segLen : (i+2)*segLen]
+		p, err := signal.Pearson(a, b)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		xc, err := signal.CrossCorrelation(a, b, segLen/4)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		peak := 0.0
+		for _, v := range xc {
+			if v > peak {
+				peak = v
+			}
+		}
+		coh, err := signal.SpectralCoherence(timeseries.Demean(a), timeseries.Demean(b), 64)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pSum += p
+		xSum += peak
+		cSum += coh
+		pairs++
+	}
+	return pSum / float64(pairs), xSum / float64(pairs), cSum / float64(pairs), nil
+}
+
+// ExplorationStudy runs the §3.4 exploration across the given applications
+// (all when empty) and both attacks.
+func (c Config) ExplorationStudy(apps []string) ([]ExplorationResult, error) {
+	if len(apps) == 0 {
+		apps = workload.AppNames()
+	}
+	var out []ExplorationResult
+	for _, app := range apps {
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			r, err := c.Exploration(app, kind, 120, 5)
+			if err != nil {
+				return nil, fmt.Errorf("exploration %s/%v: %w", app, kind, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestExplorationValidation(t *testing.T) {
+	c := fastConfig()
+	if _, err := c.Exploration(workload.Bayes, attack.None, 120, 5); err == nil {
+		t.Error("no-attack exploration accepted")
+	}
+	if _, err := c.Exploration(workload.Bayes, attack.BusLock, 10, 5); err == nil {
+		t.Error("too-short run accepted")
+	}
+	if _, err := c.Exploration("nope", attack.BusLock, 120, 5); err == nil {
+		t.Error("unknown app accepted — expected panic-free error path")
+	}
+}
+
+func TestExplorationReproducesNegativeResult(t *testing.T) {
+	// §3.4: none of the correlation approaches shows a decreasing trend
+	// usable for detection — the statistics stay in the same ballpark
+	// before and during the attack.
+	c := fastConfig()
+	results, err := c.ExplorationStudy([]string{workload.KMeans, workload.TeraSort, workload.FaceNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		for _, approach := range ExplorationApproaches() {
+			sep, err := r.Separation(approach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A usable detector signal would need a large, consistent
+			// drop; the paper found none. Require the separation to stay
+			// small relative to a full-scale drop of 1.0.
+			if sep > 0.45 {
+				t.Errorf("%s/%v: %s separation %v — the paper's negative result did not reproduce",
+					r.App, r.Attack, approach, sep)
+			}
+		}
+	}
+}
+
+func TestExplorationStatisticsInRange(t *testing.T) {
+	c := fastConfig()
+	r, err := c.Exploration(workload.FaceNet, attack.BusLock, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"pearson before":   r.PearsonBefore,
+		"pearson after":    r.PearsonAfter,
+		"crosscorr before": r.CrossCorrBefore,
+		"crosscorr after":  r.CrossCorrAfter,
+	} {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Errorf("%s = %v out of [-1,1]", name, v)
+		}
+	}
+	for name, v := range map[string]float64{
+		"coherence before": r.CoherenceBefore,
+		"coherence after":  r.CoherenceAfter,
+	} {
+		if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if _, err := r.Separation("nonsense"); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestInterferenceStudyDetectsNoisyNeighbour(t *testing.T) {
+	// §6: even benign co-located VMs interfere; the provider's detector
+	// must flag the contention from the victim's counters.
+	res, err := MicroConfig{App: workload.KMeans, Seed: 5}.InterferenceStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissRateDuring <= res.MissRateBefore {
+		t.Fatalf("noisy neighbour did not raise the miss rate: %v → %v",
+			res.MissRateBefore, res.MissRateDuring)
+	}
+	if !res.Detected {
+		t.Fatalf("interference not detected: %+v", res)
+	}
+	if res.Delay < 0 || res.Delay > 25 {
+		t.Fatalf("interference delay %v, want within (0, 25]", res.Delay)
+	}
+}
+
+func TestInterferenceStudyAll(t *testing.T) {
+	results, err := MicroConfig{Seed: 6}.InterferenceStudyAll([]string{workload.Bayes, workload.FaceNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	detected := 0
+	for _, r := range results {
+		if r.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no interference detected for any app")
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestMicroDetectionRunBusLock(t *testing.T) {
+	res, err := MicroConfig{App: workload.KMeans, AttackKind: attack.BusLock, Seed: 1}.MicroDetectionRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatalf("bus-locking attack not detected on the microsim: %+v", res)
+	}
+	if res.Delay < 0 || res.Delay > 20 {
+		t.Fatalf("micro-scale delay %v, want within (0, 20]", res.Delay)
+	}
+	if res.Profile.MeanAccess <= 0 || res.Profile.StdAccess <= 0 {
+		t.Fatalf("degenerate micro profile: %+v", res.Profile)
+	}
+	if res.FalseAlarms > 1 {
+		t.Fatalf("%d false alarms in the attack-free stage", res.FalseAlarms)
+	}
+}
+
+func TestMicroDetectionRunCleanse(t *testing.T) {
+	res, err := MicroConfig{App: workload.Scan, AttackKind: attack.Cleanse, Seed: 2}.MicroDetectionRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatalf("cleansing attack not detected on the microsim: %+v", res)
+	}
+}
+
+func TestMicroAppPhasesAndRates(t *testing.T) {
+	// Every app's MicroApp must build and demand a plausible rate.
+	for _, name := range workload.AppNames() {
+		app, err := workload.NewMicroApp(name, 0, fastConfig().rng(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		demand, lock := app.Demand(0.01)
+		if demand <= 0 || lock != 0 {
+			t.Fatalf("%s: demand (%d, %v)", name, demand, lock)
+		}
+	}
+	if _, err := workload.NewMicroApp("nope", 0, fastConfig().rng("x")); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := workload.NewMicroApp(workload.Bayes, 0, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

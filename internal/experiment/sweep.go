@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/metrics"
+)
+
+// SweepPoint is one x-value of a sensitivity figure (§5.3): the recall,
+// specificity and delay distributions of SDS at one parameter setting.
+type SweepPoint struct {
+	Value       float64
+	Recall      metrics.Distribution
+	Specificity metrics.Distribution
+	Delay       metrics.Distribution
+}
+
+// Sweep runs the accuracy experiment for the app at each parameter value,
+// applying the value with apply (which mutates a copy of the SDS config).
+// Both attacks are pooled, as the paper's sensitivity figures do not split
+// them.
+func (c Config) Sweep(app string, values []float64, apply func(*Config, float64) error) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("experiment: sweep needs at least one value")
+	}
+	points := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		cfg := c
+		if err := apply(&cfg, v); err != nil {
+			return nil, fmt.Errorf("apply %v: %w", v, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("config at %v: %w", v, err)
+		}
+		var recalls, specs, delays []float64
+		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+			for run := 0; run < cfg.Runs; run++ {
+				out, err := cfg.DetectionRun(app, kind, SchemeSDS, run)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%v at %v run %d: %w", app, kind, v, run, err)
+				}
+				recalls = append(recalls, out.Recall*100)
+				specs = append(specs, out.Specificity*100)
+				if out.Detected {
+					delays = append(delays, out.Delay)
+				}
+			}
+		}
+		points = append(points, SweepPoint{
+			Value:       v,
+			Recall:      metrics.Summarize(recalls),
+			Specificity: metrics.Summarize(specs),
+			Delay:       metrics.Summarize(delays),
+		})
+	}
+	return points, nil
+}
+
+// SweepAlpha reproduces Fig. 13: sensitivity to the EWMA smoothing factor.
+func (c Config) SweepAlpha(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		cfg.Detect.Alpha = v
+		return nil
+	})
+}
+
+// SweepK reproduces Fig. 14: sensitivity to the boundary factor k, with
+// H_C re-derived from Chebyshev's inequality at 99.9% confidence, as the
+// paper does.
+func (c Config) SweepK(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		hc, err := detect.ChebyshevHC(v, 0.999)
+		if err != nil {
+			return err
+		}
+		cfg.Detect.K = v
+		cfg.Detect.HC = hc
+		return nil
+	})
+}
+
+// SweepW reproduces Fig. 15: sensitivity to the MA window size W.
+func (c Config) SweepW(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		cfg.Detect.W = int(v)
+		if cfg.Detect.DW > cfg.Detect.W {
+			cfg.Detect.DW = cfg.Detect.W
+		}
+		return nil
+	})
+}
+
+// SweepDW reproduces Fig. 16: sensitivity to the MA sliding step ΔW.
+func (c Config) SweepDW(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		cfg.Detect.DW = int(v)
+		return nil
+	})
+}
+
+// SweepWPFactor reproduces Fig. 17: sensitivity to the SDS/P window W_P,
+// expressed as the multiple of the profiled period (the paper sweeps
+// 2p–6p).
+func (c Config) SweepWPFactor(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		cfg.Detect.WPFactor = int(v)
+		return nil
+	})
+}
+
+// SweepDWP reproduces Fig. 18: sensitivity to the SDS/P sliding step ΔW_P.
+func (c Config) SweepDWP(app string, values []float64) ([]SweepPoint, error) {
+	return c.Sweep(app, values, func(cfg *Config, v float64) error {
+		cfg.Detect.DWP = int(v)
+		return nil
+	})
+}

@@ -1,0 +1,134 @@
+// Package feed parses PCM counter streams from external tools. The
+// expected format is CSV lines of `t,access,miss` — time in seconds plus
+// the LLC access and miss counts of the monitored VM for the preceding
+// sampling interval — which is trivial to produce from Intel PCM's csv
+// output or a perf-stat wrapper. A header line and comment lines starting
+// with '#' are skipped.
+package feed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// Reader parses a PCM sample stream.
+type Reader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{scanner: sc}
+}
+
+// Next returns the next sample, io.EOF at end of stream, or a parse error
+// annotated with the line number. Blank lines, comments and a leading
+// header are skipped.
+func (r *Reader) Next() (pcm.Sample, error) {
+	for r.scanner.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseLine(text)
+		if err != nil {
+			if r.line == 1 && isHeader(text) {
+				continue
+			}
+			return pcm.Sample{}, fmt.Errorf("feed: line %d: %w", r.line, err)
+		}
+		return s, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return pcm.Sample{}, fmt.Errorf("feed: read: %w", err)
+	}
+	return pcm.Sample{}, io.EOF
+}
+
+// ReadAll drains the stream into a slice (profiling helper).
+func (r *Reader) ReadAll() ([]pcm.Sample, error) {
+	var out []pcm.Sample
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+}
+
+func parseLine(text string) (pcm.Sample, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 3 {
+		return pcm.Sample{}, fmt.Errorf("want 3 comma-separated fields (t,access,miss), got %d", len(fields))
+	}
+	var (
+		s   pcm.Sample
+		err error
+	)
+	if s.T, err = strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad time %q", fields[0])
+	}
+	if s.Access, err = strconv.ParseFloat(strings.TrimSpace(fields[1]), 64); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad access count %q", fields[1])
+	}
+	if s.Miss, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad miss count %q", fields[2])
+	}
+	return s, nil
+}
+
+// isHeader reports whether the first line looks like a CSV header rather
+// than data.
+func isHeader(text string) bool {
+	for _, f := range strings.Split(text, ",") {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(f), 64); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Writer emits samples in the same CSV format (for recording simulated
+// streams that detectd or external tools can replay).
+type Writer struct {
+	w      *bufio.Writer
+	header bool
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one sample (writing the header first).
+func (w *Writer) Write(s pcm.Sample) error {
+	if !w.header {
+		if _, err := w.w.WriteString("t,access,miss\n"); err != nil {
+			return err
+		}
+		w.header = true
+	}
+	// 'g' with precision -1 is the shortest exact representation, so
+	// Write→Read round trips losslessly.
+	_, err := fmt.Fprintf(w.w, "%s,%s,%s\n",
+		strconv.FormatFloat(s.T, 'g', -1, 64),
+		strconv.FormatFloat(s.Access, 'g', -1, 64),
+		strconv.FormatFloat(s.Miss, 'g', -1, 64))
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }

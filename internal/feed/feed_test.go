@@ -1,0 +1,134 @@
+package feed
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+)
+
+func TestReaderBasic(t *testing.T) {
+	in := "t,access,miss\n0.01,100,10\n0.02,120,12\n"
+	r := NewReader(strings.NewReader(in))
+	s1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.T != 0.01 || s1.Access != 100 || s1.Miss != 10 {
+		t.Fatalf("s1 = %+v", s1)
+	}
+	s2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.T != 0.02 {
+		t.Fatalf("s2 = %+v", s2)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# produced by pcm wrapper\n\n0.01,100,10\n\n# more comments\n0.02,110,11\n"
+	samples, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+}
+
+func TestReaderNoHeader(t *testing.T) {
+	in := "0.01,100,10\n"
+	samples, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"wrong field count", "0.01,100\n"},
+		{"bad time mid-stream", "0.01,100,10\nxx,100,10\n"},
+		{"bad access", "0.01,zz,10\n"},
+		{"bad miss", "0.01,100,zz\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tt.in))
+			var err error
+			for err == nil {
+				_, err = r.Next()
+			}
+			if err == io.EOF {
+				t.Fatal("malformed input parsed without error")
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error %v lacks line number", err)
+			}
+		})
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	r := randx.New(1, 2)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := make([]pcm.Sample, 100)
+	for i := range want {
+		want[i] = pcm.Sample{
+			T:      float64(i+1) * 0.01,
+			Access: float64(r.IntN(1 << 20)),
+			Miss:   float64(r.IntN(1 << 16)),
+		}
+		if err := w.Write(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tRaw uint16, aRaw, mRaw uint32) bool {
+		s := pcm.Sample{T: float64(tRaw) / 100, Access: float64(aRaw % 1000000), Miss: float64(mRaw % 100000)}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(s); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		return err == nil && len(got) == 1 && got[0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

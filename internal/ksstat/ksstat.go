@@ -1,0 +1,110 @@
+// Package ksstat implements the two-sample Kolmogorov–Smirnov test, the
+// statistical engine of the KStest baseline detector (Zhang et al.,
+// AsiaCCS '17) that the paper compares SDS against. The baseline declares an
+// attack when real-time "monitored" counter samples stop following the same
+// distribution as throttled "reference" samples.
+package ksstat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) − F_b(x)|, the maximum distance between the empirical
+// CDFs of the two samples. Inputs are not modified.
+func Statistic(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, fmt.Errorf("ksstat: both samples must be nonempty (got %d and %d)", len(a), len(b))
+	}
+	sa := sortedCopy(a)
+	sb := sortedCopy(b)
+	var (
+		d    float64
+		i, j int
+	)
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		va, vb := sa[i], sb[j]
+		if va <= vb {
+			i++
+		}
+		if vb <= va {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	return d, nil
+}
+
+// PValue returns the asymptotic two-sided p-value for a two-sample KS
+// statistic d with sample sizes n and m, using the Kolmogorov distribution
+// with the small-sample correction of Stephens (as in Numerical Recipes).
+func PValue(d float64, n, m int) float64 {
+	if n <= 0 || m <= 0 {
+		return 1
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	sq := math.Sqrt(ne)
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const (
+		maxTerms = 100
+		eps      = 1e-10
+	)
+	var (
+		sum  float64
+		sign = 1.0
+	)
+	for j := 1; j <= maxTerms; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < eps*math.Abs(sum) || math.Abs(term) < 1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	return math.Max(0, math.Min(1, q))
+}
+
+// Reject reports whether the two samples have significantly different
+// distributions at the given significance level alpha (e.g. 0.05). This is
+// the per-round decision of the KStest detector: a result of true
+// corresponds to the value "1" in the paper's Figure 1.
+func Reject(a, b []float64, alpha float64) (bool, error) {
+	d, err := Statistic(a, b)
+	if err != nil {
+		return false, err
+	}
+	return PValue(d, len(a), len(b)) < alpha, nil
+}
+
+// CriticalValue returns the approximate critical D above which the
+// two-sample test rejects at level alpha, c(α)·sqrt((n+m)/(n·m)) with
+// c(α) = sqrt(−ln(α/2)/2).
+func CriticalValue(alpha float64, n, m int) float64 {
+	if n <= 0 || m <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.NaN()
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
+func sortedCopy(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	sort.Float64s(out)
+	return out
+}

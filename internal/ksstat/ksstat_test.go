@@ -1,0 +1,203 @@
+package ksstat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func TestStatisticKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"disjoint", []float64{1, 2, 3}, []float64{10, 11, 12}, 1},
+		{"half overlap", []float64{1, 2}, []float64{2, 3}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Statistic(tt.a, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("D = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStatisticErrors(t *testing.T) {
+	if _, err := Statistic(nil, []float64{1}); err == nil {
+		t.Error("empty a accepted")
+	}
+	if _, err := Statistic([]float64{1}, nil); err == nil {
+		t.Error("empty b accepted")
+	}
+}
+
+func TestStatisticProperties(t *testing.T) {
+	r := randx.New(1, 2)
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw)%50 + 1
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = r.Normal(0, 1)
+		}
+		for i := range b {
+			b[i] = r.Normal(0.5, 1.5)
+		}
+		dab, err1 := Statistic(a, b)
+		dba, err2 := Statistic(b, a)
+		daa, err3 := Statistic(a, a)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// Range, symmetry, identity.
+		return dab >= 0 && dab <= 1 && math.Abs(dab-dba) < 1e-12 && daa == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatisticShiftMonotonicity(t *testing.T) {
+	// Growing the location shift between two Gaussian samples must not
+	// shrink D (checked on expectation with a fixed base sample).
+	r := randx.New(3, 4)
+	const n = 400
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = r.Normal(0, 1)
+	}
+	prev := -1.0
+	for _, shift := range []float64{0, 0.5, 1, 2, 4} {
+		shifted := make([]float64, n)
+		for i := range shifted {
+			shifted[i] = base[i] + shift
+		}
+		d, err := Statistic(base, shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev-1e-9 {
+			t.Fatalf("D decreased from %v to %v at shift %v", prev, d, shift)
+		}
+		prev = d
+	}
+}
+
+func TestPValueRange(t *testing.T) {
+	for _, d := range []float64{0, 0.1, 0.3, 0.5, 1} {
+		p := PValue(d, 100, 100)
+		if p < 0 || p > 1 {
+			t.Fatalf("PValue(%v) = %v out of range", d, p)
+		}
+	}
+	if p := PValue(0, 100, 100); p < 0.999 {
+		t.Fatalf("PValue(0) = %v, want ~1", p)
+	}
+	if p := PValue(1, 100, 100); p > 1e-6 {
+		t.Fatalf("PValue(1) = %v, want ~0", p)
+	}
+	if p := PValue(0.5, 0, 10); p != 1 {
+		t.Fatalf("PValue with n=0 = %v, want 1", p)
+	}
+}
+
+func TestPValueMonotoneInD(t *testing.T) {
+	prev := 2.0
+	for d := 0.0; d <= 1.0; d += 0.02 {
+		p := PValue(d, 100, 100)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value increased at D=%v", d)
+		}
+		prev = p
+	}
+}
+
+func TestRejectSameDistribution(t *testing.T) {
+	// At alpha = 0.05, samples from the same distribution should be
+	// rejected roughly 5% of the time.
+	r := randx.New(5, 6)
+	const trials = 400
+	rejections := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 100)
+		b := make([]float64, 100)
+		for i := range a {
+			a[i] = r.Normal(10, 2)
+			b[i] = r.Normal(10, 2)
+		}
+		rej, err := Reject(a, b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rej {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.10 {
+		t.Fatalf("false rejection rate %v, want ≲ 0.05", rate)
+	}
+}
+
+func TestRejectShiftedDistribution(t *testing.T) {
+	r := randx.New(7, 8)
+	const trials = 100
+	detections := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 100)
+		b := make([]float64, 100)
+		for i := range a {
+			a[i] = r.Normal(10, 2)
+			b[i] = r.Normal(12, 2) // one-sigma shift
+		}
+		rej, err := Reject(a, b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rej {
+			detections++
+		}
+	}
+	if rate := float64(detections) / trials; rate < 0.8 {
+		t.Fatalf("detection rate %v for a 1σ shift, want ≥ 0.8", rate)
+	}
+}
+
+func TestCriticalValue(t *testing.T) {
+	// For n=m=100 at alpha=0.05 the classical critical value is
+	// 1.358*sqrt(2/100) ≈ 0.192.
+	got := CriticalValue(0.05, 100, 100)
+	if math.Abs(got-0.192) > 0.002 {
+		t.Fatalf("critical value = %v, want ≈0.192", got)
+	}
+	if !math.IsNaN(CriticalValue(0.05, 0, 100)) {
+		t.Error("invalid n accepted")
+	}
+	if !math.IsNaN(CriticalValue(1.5, 100, 100)) {
+		t.Error("invalid alpha accepted")
+	}
+}
+
+func TestCriticalValueConsistentWithPValue(t *testing.T) {
+	// D slightly above the critical value should have p < alpha, slightly
+	// below should have p > alpha (asymptotic approximations differ a bit,
+	// so test with a margin).
+	const alpha = 0.05
+	dc := CriticalValue(alpha, 200, 200)
+	if p := PValue(dc*1.1, 200, 200); p >= alpha {
+		t.Fatalf("p above critical = %v, want < %v", p, alpha)
+	}
+	if p := PValue(dc*0.9, 200, 200); p <= alpha {
+		t.Fatalf("p below critical = %v, want > %v", p, alpha)
+	}
+}

@@ -1,0 +1,179 @@
+package membus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func mustBus(t *testing.T, perSec, maxLock float64) *Bus {
+	t.Helper()
+	b, err := New(perSec, maxLock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(-10, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := New(100, 0); err != nil {
+		t.Errorf("default max lock rejected: %v", err)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	b := mustBus(t, 1000, 0)
+	if _, err := b.Allocate(0, nil); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := b.Allocate(1, []Demand{{Accesses: -1}}); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := b.Allocate(1, []Demand{{LockFraction: 1.5}}); err == nil {
+		t.Error("lock fraction > 1 accepted")
+	}
+}
+
+func TestUncontendedDemandFullyGranted(t *testing.T) {
+	b := mustBus(t, 10000, 0)
+	grants, err := b.Allocate(0.01, []Demand{{Owner: 0, Accesses: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants[0].Accesses != 50 || grants[0].Stalled != 0 {
+		t.Fatalf("grant = %+v, want full 50", grants[0])
+	}
+}
+
+func TestFairSharingUnderContention(t *testing.T) {
+	b := mustBus(t, 10000, 0) // 100 slots per 0.01s tick
+	grants, err := b.Allocate(0.01, []Demand{
+		{Owner: 0, Accesses: 80},
+		{Owner: 1, Accesses: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants[0].Accesses != 50 || grants[1].Accesses != 50 {
+		t.Fatalf("grants = %+v, want 50/50", grants)
+	}
+}
+
+func TestMaxMinSmallDemandSatisfiedFirst(t *testing.T) {
+	b := mustBus(t, 10000, 0) // 100 slots
+	grants, err := b.Allocate(0.01, []Demand{
+		{Owner: 0, Accesses: 10},
+		{Owner: 1, Accesses: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants[0].Accesses != 10 {
+		t.Fatalf("small demand granted %d, want 10", grants[0].Accesses)
+	}
+	if grants[1].Accesses != 90 {
+		t.Fatalf("large demand granted %d, want 90", grants[1].Accesses)
+	}
+}
+
+func TestBusLockStarvesOthers(t *testing.T) {
+	// The atomic bus-locking attack: a 90% lock fraction leaves victims
+	// only ~10% of the slots, while the attacker's own accesses proceed.
+	b := mustBus(t, 10000, 0.95) // 100 slots per tick
+	grants, err := b.Allocate(0.01, []Demand{
+		{Owner: 0, Accesses: 100},                    // victim
+		{Owner: 1, Accesses: 20, LockFraction: 0.90}, // attacker
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, victim := grants[1], grants[0]
+	if attacker.Accesses != 20 {
+		t.Fatalf("attacker granted %d, want 20", attacker.Accesses)
+	}
+	// Victim: open slots = 100*(1-0.9) = 10, minus nothing (attacker used
+	// 20 of the full budget, 80 remain ≥ 10).
+	if victim.Accesses != 10 {
+		t.Fatalf("victim granted %d, want 10", victim.Accesses)
+	}
+}
+
+func TestLockFractionCapped(t *testing.T) {
+	b := mustBus(t, 10000, 0.80)
+	grants, err := b.Allocate(0.01, []Demand{
+		{Owner: 0, Accesses: 100},
+		{Owner: 1, Accesses: 0, LockFraction: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap at 0.8 → victims still get 20 slots.
+	if grants[0].Accesses != 20 {
+		t.Fatalf("victim granted %d, want 20", grants[0].Accesses)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: granted ≤ demand per owner, Σ granted ≤ budget, and
+	// granted + stalled == demand.
+	r := randx.New(1, 2)
+	b := mustBus(t, 50000, 0.95)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%6 + 1
+		demands := make([]Demand, n)
+		for i := range demands {
+			demands[i] = Demand{Owner: i, Accesses: r.IntN(1000)}
+			if r.Bool(0.2) {
+				demands[i].LockFraction = r.Float64()
+			}
+		}
+		grants, err := b.Allocate(0.01, demands)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, g := range grants {
+			if g.Accesses < 0 || g.Accesses > demands[i].Accesses {
+				return false
+			}
+			if g.Accesses+g.Stalled != demands[i].Accesses {
+				return false
+			}
+			total += g.Accesses
+		}
+		return total <= 500 // budget per tick
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := mustBus(t, 10000, 0)
+	_, err := b.Allocate(0.01, []Demand{{Owner: 0, Accesses: 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Requested != 150 || st.Granted != 100 || st.Stalled != 50 || st.Ticks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestZeroDemands(t *testing.T) {
+	b := mustBus(t, 1000, 0)
+	grants, err := b.Allocate(0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 0 {
+		t.Fatalf("grants = %v, want empty", grants)
+	}
+}

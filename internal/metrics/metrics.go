@@ -1,0 +1,189 @@
+// Package metrics scores detection runs the way the paper's evaluation
+// (§5.2) does: recall (ability to detect a present attack), specificity
+// (ability to stay quiet without one), detection delay, and the normalized
+// execution-time overhead of running a detection scheme at all.
+//
+// Accuracy is scored over fixed-length epochs: each run has an attack-free
+// stage and an attack stage; every epoch is labelled by whether the attack
+// was active in it and predicted by whether the detector's alarm was active
+// at any point inside it. Recall and specificity are then standard
+// confusion-matrix ratios, which is what gives the paper its percentage
+// values per run.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AlarmState is one (time, alarmed) observation of a detector's state.
+type AlarmState struct {
+	T       float64
+	Alarmed bool
+}
+
+// Outcome is the scored result of one run.
+type Outcome struct {
+	// TP, FP, TN, FN are epoch counts.
+	TP, FP, TN, FN int
+	// Recall = TP / (TP+FN); 1 when there were no positive epochs.
+	Recall float64
+	// Specificity = TN / (TN+FP); 1 when there were no negative epochs.
+	Specificity float64
+	// Delay is the seconds from attack start to the first alarm *onset*
+	// (rising edge) at or after it — an alarm that was already falsely
+	// active when the attack began does not count as instant detection.
+	// Negative when no onset occurred during the attack (either the attack
+	// was missed, or a pre-existing alarm latched across it; distinguish
+	// with Detected).
+	Delay float64
+	// Detected reports whether the alarm was active at any point while the
+	// attack ran.
+	Detected bool
+}
+
+// Scorer configures epoch-based scoring.
+type Scorer struct {
+	// RunSeconds is the total run duration.
+	RunSeconds float64
+	// AttackStart is when the attack begins (attack runs to the end).
+	// Zero means the run has no attack (all epochs negative).
+	AttackStart float64
+	// EpochSeconds is the scoring epoch length (the paper's L_R-sized 30 s
+	// works well; it must divide the stage lengths sensibly).
+	EpochSeconds float64
+}
+
+// Validate reports configuration errors.
+func (s Scorer) Validate() error {
+	if s.RunSeconds <= 0 || s.EpochSeconds <= 0 {
+		return fmt.Errorf("metrics: durations must be positive: %+v", s)
+	}
+	if s.AttackStart < 0 || s.AttackStart > s.RunSeconds {
+		return fmt.Errorf("metrics: attack start %v outside run of %v s", s.AttackStart, s.RunSeconds)
+	}
+	if s.EpochSeconds > s.RunSeconds {
+		return fmt.Errorf("metrics: epoch %v s longer than run %v s", s.EpochSeconds, s.RunSeconds)
+	}
+	return nil
+}
+
+// Score evaluates a time-ordered alarm-state trace. states must cover the
+// run; gaps count as "not alarmed".
+func (s Scorer) Score(states []AlarmState) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].T < states[i-1].T {
+			return Outcome{}, fmt.Errorf("metrics: alarm states out of order at %d (%v after %v)",
+				i, states[i].T, states[i-1].T)
+		}
+	}
+
+	nEpochs := int(math.Ceil(s.RunSeconds/s.EpochSeconds - 1e-9))
+	alarmInEpoch := make([]bool, nEpochs)
+	for _, st := range states {
+		if !st.Alarmed {
+			continue
+		}
+		e := int(st.T / s.EpochSeconds)
+		if e >= 0 && e < nEpochs {
+			alarmInEpoch[e] = true
+		}
+	}
+
+	hasAttack := s.AttackStart > 0 && s.AttackStart < s.RunSeconds
+	var out Outcome
+	out.Delay = -1
+	for e := 0; e < nEpochs; e++ {
+		epochEnd := float64(e+1) * s.EpochSeconds
+		positive := hasAttack && epochEnd > s.AttackStart
+		switch {
+		case positive && alarmInEpoch[e]:
+			out.TP++
+		case positive && !alarmInEpoch[e]:
+			out.FN++
+		case !positive && alarmInEpoch[e]:
+			out.FP++
+		default:
+			out.TN++
+		}
+	}
+	out.Recall = ratioOrOne(out.TP, out.TP+out.FN)
+	out.Specificity = ratioOrOne(out.TN, out.TN+out.FP)
+
+	if hasAttack {
+		prevAlarmed := false
+		for i, st := range states {
+			if st.Alarmed && st.T >= s.AttackStart {
+				out.Detected = true
+				rising := i == 0 || !prevAlarmed
+				if rising {
+					out.Delay = st.T - s.AttackStart
+					break
+				}
+			}
+			prevAlarmed = st.Alarmed
+		}
+	}
+	return out, nil
+}
+
+func ratioOrOne(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// Distribution summarizes per-run values across repeated runs the way the
+// paper reports them: median with 10th/90th percentile error bars.
+type Distribution struct {
+	N                int
+	Median, P10, P90 float64
+}
+
+// Summarize builds a Distribution (zero value for empty input).
+func Summarize(values []float64) Distribution {
+	if len(values) == 0 {
+		return Distribution{}
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return Distribution{
+		N:      len(values),
+		Median: percentile(sorted, 50),
+		P10:    percentile(sorted, 10),
+		P90:    percentile(sorted, 90),
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// NormalizedExecTime converts achieved progress over elapsed virtual time
+// into the paper's Fig. 12 metric: execution time normalized to the
+// no-detection case (≥ 1; 1.02 means 2% overhead).
+func NormalizedExecTime(progress, elapsed float64) (float64, error) {
+	if progress <= 0 || elapsed <= 0 {
+		return 0, fmt.Errorf("metrics: progress and elapsed must be positive (%v, %v)", progress, elapsed)
+	}
+	if progress > elapsed*(1+1e-9) {
+		return 0, fmt.Errorf("metrics: progress %v exceeds elapsed %v", progress, elapsed)
+	}
+	return elapsed / progress, nil
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func states(pairs ...AlarmState) []AlarmState { return pairs }
+
+func TestScorerValidate(t *testing.T) {
+	good := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Scorer{
+		{RunSeconds: 0, EpochSeconds: 30},
+		{RunSeconds: 600, EpochSeconds: 0},
+		{RunSeconds: 600, AttackStart: 700, EpochSeconds: 30},
+		{RunSeconds: 10, EpochSeconds: 30},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad scorer %d accepted", i)
+		}
+	}
+}
+
+func TestScoreOutOfOrderStates(t *testing.T) {
+	s := Scorer{RunSeconds: 60, EpochSeconds: 30}
+	if _, err := s.Score(states(AlarmState{T: 10}, AlarmState{T: 5})); err == nil {
+		t.Fatal("out-of-order states accepted")
+	}
+}
+
+func TestScorePerfectDetector(t *testing.T) {
+	// Alarm exactly during the attack stage.
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	var tr []AlarmState
+	for ti := 0.0; ti < 600; ti += 1 {
+		tr = append(tr, AlarmState{T: ti, Alarmed: ti >= 315})
+	}
+	out, err := s.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recall != 1 || out.Specificity != 1 {
+		t.Fatalf("outcome = %+v, want perfect", out)
+	}
+	if math.Abs(out.Delay-15) > 1e-9 || !out.Detected {
+		t.Fatalf("delay = %v, want 15", out.Delay)
+	}
+	if out.TP != 10 || out.TN != 10 || out.FP != 0 || out.FN != 0 {
+		t.Fatalf("confusion = %+v", out)
+	}
+}
+
+func TestScoreSilentDetector(t *testing.T) {
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	out, err := s.Score(states(AlarmState{T: 0}, AlarmState{T: 599}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recall != 0 || out.Specificity != 1 || out.Detected || out.Delay >= 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestScoreFalsePositives(t *testing.T) {
+	// One false-alarm epoch in a no-attack run.
+	s := Scorer{RunSeconds: 300, EpochSeconds: 30}
+	var tr []AlarmState
+	for ti := 0.0; ti < 300; ti += 1 {
+		tr = append(tr, AlarmState{T: ti, Alarmed: ti >= 65 && ti < 75})
+	}
+	out, err := s.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FP != 1 || out.TN != 9 {
+		t.Fatalf("confusion = %+v, want FP=1 TN=9", out)
+	}
+	if math.Abs(out.Specificity-0.9) > 1e-9 {
+		t.Fatalf("specificity = %v, want 0.9", out.Specificity)
+	}
+	if out.Recall != 1 { // no positive epochs → defined as 1
+		t.Fatalf("recall = %v, want 1", out.Recall)
+	}
+}
+
+func TestScoreLateDetectionMissesFirstEpoch(t *testing.T) {
+	// Detection 35 s into the attack leaves the first positive epoch FN:
+	// recall 9/10 — the mechanism behind the paper's 10th-percentile
+	// recall values just below 100%.
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	var tr []AlarmState
+	for ti := 0.0; ti < 600; ti += 1 {
+		tr = append(tr, AlarmState{T: ti, Alarmed: ti >= 335})
+	}
+	out, err := s.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Recall-0.9) > 1e-9 {
+		t.Fatalf("recall = %v, want 0.9", out.Recall)
+	}
+	if math.Abs(out.Delay-35) > 1e-9 {
+		t.Fatalf("delay = %v, want 35", out.Delay)
+	}
+}
+
+func TestScoreConfusionTotalsProperty(t *testing.T) {
+	// Property: TP+FP+TN+FN == number of epochs, regardless of the trace.
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	f := func(raw []bool) bool {
+		var tr []AlarmState
+		for i, b := range raw {
+			tr = append(tr, AlarmState{T: float64(i * 7 % 600), Alarmed: b})
+		}
+		// Times must be ordered; sort by construction instead.
+		for i := range tr {
+			tr[i].T = float64(i) * 600 / float64(len(tr)+1)
+		}
+		out, err := s.Score(tr)
+		if err != nil {
+			return false
+		}
+		return out.TP+out.FP+out.TN+out.FN == 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{3, 1, 2, 5, 4})
+	if d.N != 5 || d.Median != 3 {
+		t.Fatalf("distribution = %+v", d)
+	}
+	if d.P10 != 1.4 || d.P90 != 4.6 {
+		t.Fatalf("percentiles = %+v", d)
+	}
+	if got := Summarize(nil); got != (Distribution{}) {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.P10 != 7 || one.P90 != 7 {
+		t.Fatalf("single-value distribution = %+v", one)
+	}
+}
+
+func TestNormalizedExecTime(t *testing.T) {
+	got, err := NormalizedExecTime(290, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-300.0/290) > 1e-12 {
+		t.Fatalf("normalized = %v", got)
+	}
+	if _, err := NormalizedExecTime(0, 300); err == nil {
+		t.Error("zero progress accepted")
+	}
+	if _, err := NormalizedExecTime(301, 300); err == nil {
+		t.Error("progress above elapsed accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Package pcm models the Processor Counter Monitor tool the paper runs on
+// each server's hypervisor: every T_PCM seconds (0.01 s in the paper,
+// Table 1) it samples a VM's cumulative LLC-access and LLC-miss counters and
+// reports the per-interval deltas, AccessNum and MissNum. Those samples are
+// the only input the detection schemes consume, which is what makes SDS
+// lightweight: no throttling, no instrumentation inside the VMs.
+package pcm
+
+import (
+	"fmt"
+)
+
+// Sample is one PCM observation of a VM: the number of LLC accesses and
+// misses during the preceding T_PCM interval.
+type Sample struct {
+	// T is the virtual time at the end of the sampled interval, seconds.
+	T float64
+	// Access is AccessNum: LLC accesses during the interval.
+	Access float64
+	// Miss is MissNum: LLC misses during the interval.
+	Miss float64
+}
+
+// CounterReader supplies cumulative (access, miss) counters for one VM; the
+// vmm machine's per-VM cache statistics satisfy this via a closure.
+type CounterReader func() (access, miss uint64)
+
+// Monitor converts cumulative counters into periodic Samples.
+type Monitor struct {
+	read       CounterReader
+	tpcm       float64
+	now        float64
+	next       float64
+	lastAccess uint64
+	lastMiss   uint64
+}
+
+// NewMonitor returns a Monitor sampling the reader every tpcm seconds.
+func NewMonitor(read CounterReader, tpcm float64) (*Monitor, error) {
+	if read == nil {
+		return nil, fmt.Errorf("pcm: nil counter reader")
+	}
+	if tpcm <= 0 {
+		return nil, fmt.Errorf("pcm: T_PCM must be positive, got %v", tpcm)
+	}
+	a, m := read()
+	return &Monitor{read: read, tpcm: tpcm, next: tpcm, lastAccess: a, lastMiss: m}, nil
+}
+
+// TPCM returns the sampling interval.
+func (m *Monitor) TPCM() float64 { return m.tpcm }
+
+// Advance moves the monitor's clock forward by dt seconds and returns the
+// samples whose intervals completed during that span (usually zero or one;
+// more if dt spans several T_PCM intervals, in which case the deltas of the
+// whole span are attributed to the final sample and intermediate samples
+// report zero — callers should advance in steps no larger than T_PCM for
+// full fidelity).
+func (m *Monitor) Advance(dt float64) ([]Sample, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("pcm: advance duration must be positive, got %v", dt)
+	}
+	m.now += dt
+	var out []Sample
+	for m.now >= m.next-1e-12 {
+		a, miss := m.read()
+		out = append(out, Sample{
+			T:      m.next,
+			Access: float64(a - m.lastAccess),
+			Miss:   float64(miss - m.lastMiss),
+		})
+		m.lastAccess, m.lastMiss = a, miss
+		m.next += m.tpcm
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, 0.01); err == nil {
+		t.Error("nil reader accepted")
+	}
+	if _, err := NewMonitor(func() (uint64, uint64) { return 0, 0 }, 0); err == nil {
+		t.Error("zero T_PCM accepted")
+	}
+}
+
+func TestMonitorDeltas(t *testing.T) {
+	var access, miss uint64
+	m, err := NewMonitor(func() (uint64, uint64) { return access, miss }, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	access, miss = 150, 30
+	samples, err := m.Advance(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.Access != 150 || s.Miss != 30 || math.Abs(s.T-0.01) > 1e-12 {
+		t.Fatalf("sample = %+v", s)
+	}
+	// Second interval: only the new delta.
+	access, miss = 250, 35
+	samples, err = m.Advance(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Access != 100 || samples[0].Miss != 5 {
+		t.Fatalf("second sample = %+v", samples[0])
+	}
+}
+
+func TestMonitorSubIntervalAdvance(t *testing.T) {
+	var access uint64
+	m, err := NewMonitor(func() (uint64, uint64) { return access, 0 }, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	access = 10
+	samples, err := m.Advance(0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 0 {
+		t.Fatalf("sampled before T_PCM elapsed: %v", samples)
+	}
+	access = 25
+	samples, err = m.Advance(0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Access != 25 {
+		t.Fatalf("samples = %+v, want one with Access=25", samples)
+	}
+}
+
+func TestMonitorStartingCountersIgnored(t *testing.T) {
+	// Counters that were nonzero before the monitor attached must not leak
+	// into the first sample.
+	m, err := NewMonitor(func() (uint64, uint64) { return 1000, 500 }, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := m.Advance(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].Access != 0 || samples[0].Miss != 0 {
+		t.Fatalf("first sample leaked pre-attach counters: %+v", samples[0])
+	}
+}
+
+func TestMonitorAdvanceValidation(t *testing.T) {
+	m, err := NewMonitor(func() (uint64, uint64) { return 0, 0 }, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Advance(0); err == nil {
+		t.Error("zero advance accepted")
+	}
+	if m.TPCM() != 0.01 {
+		t.Errorf("TPCM = %v", m.TPCM())
+	}
+}
+
+func TestMonitorLongRunSampleCount(t *testing.T) {
+	var access uint64
+	m, err := NewMonitor(func() (uint64, uint64) { access += 10; return access, 0 }, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 1000; i++ { // 10 s in 0.01 steps
+		samples, err := m.Advance(0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(samples)
+	}
+	if total != 1000 {
+		t.Fatalf("got %d samples over 10 s, want 1000", total)
+	}
+}

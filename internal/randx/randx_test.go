@@ -1,0 +1,149 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(42, 1)
+	b := Derive(42, 2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d/64 times", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	x := Derive(7, 3, 9).Uint64()
+	y := Derive(7, 3, 9).Uint64()
+	if x != y {
+		t.Fatalf("Derive not stable: %d != %d", x, y)
+	}
+}
+
+func TestDeriveStringDistinct(t *testing.T) {
+	a := DeriveString(1, "terasort").Uint64()
+	b := DeriveString(1, "kmeans").Uint64()
+	if a == b {
+		t.Fatal("different labels produced identical first draws")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(3, 4)
+	f := func(span uint8) bool {
+		lo := -5.0
+		hi := lo + float64(span)/16 + 0.01
+		v := r.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5, 6)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(std-3) > 0.05 {
+		t.Errorf("std = %v, want ~3", std)
+	}
+}
+
+func TestNoiseFactorMoments(t *testing.T) {
+	r := New(7, 8)
+	const n = 200000
+	const cv = 0.25
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NoiseFactor(cv)
+		if v <= 0 {
+			t.Fatalf("noise factor %v not positive", v)
+		}
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean = %v, want ~1", mean)
+	}
+	if math.Abs(std/mean-cv) > 0.01 {
+		t.Errorf("cv = %v, want ~%v", std/mean, cv)
+	}
+}
+
+func TestNoiseFactorZeroCV(t *testing.T) {
+	r := New(9, 10)
+	for i := 0; i < 10; i++ {
+		if got := r.NoiseFactor(0); got != 1 {
+			t.Fatalf("NoiseFactor(0) = %v, want 1", got)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11, 12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4)
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("mean = %v, want ~4", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13, 14)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("p = %v, want ~0.3", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(15, 16)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

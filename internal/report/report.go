@@ -1,0 +1,420 @@
+// Package report is the reproduction's regression harness: it re-runs the
+// experiments and checks every headline claim of the paper against the
+// measured results, so that any model or detector change that silently
+// breaks the reproduction is caught by a single command (cmd/report) or
+// test run.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// Check is one verified claim.
+type Check struct {
+	// ID ties the check to the paper artifact (e.g. "fig10/sds-range").
+	ID string
+	// Claim is the paper statement being verified.
+	Claim string
+	// Pass reports whether the measured results support the claim.
+	Pass bool
+	// Detail carries the measured numbers.
+	Detail string
+}
+
+// Options sizes the verification run.
+type Options struct {
+	// Runs per accuracy cell (default 8; the paper uses 20).
+	Runs int
+	// Apps to evaluate (default: all ten).
+	Apps []string
+	// Seed for the whole verification.
+	Seed uint64
+	// SkipMicro skips the micro-architectural checks (they dominate the
+	// runtime of small verification runs).
+	SkipMicro bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 8
+	}
+	if len(o.Apps) == 0 {
+		o.Apps = workload.AppNames()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Run executes the verification and returns every check. Progress notes go
+// to w (may be nil).
+func Run(opts Options, w io.Writer) ([]Check, error) {
+	o := opts.withDefaults()
+	logf := func(format string, args ...any) {
+		if w != nil {
+			fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	cfg := experiment.DefaultConfig()
+	cfg.Runs = o.Runs
+	cfg.Seed = o.Seed
+
+	var checks []Check
+	add := func(id, claim string, pass bool, detail string) {
+		checks = append(checks, Check{ID: id, Claim: claim, Pass: pass, Detail: detail})
+	}
+
+	// Table 1 / Eq. 4.
+	hc, err := detect.ChebyshevHC(1.125, 0.999)
+	if err != nil {
+		return nil, err
+	}
+	add("table1/chebyshev", "k=1.125 at 99.9% confidence yields H_C=30",
+		hc == 30, fmt.Sprintf("H_C=%d", hc))
+
+	// §3.2 false alarms.
+	logf("running §3.2 KStest false-alarm study...")
+	fa, err := cfg.KStestFalseAlarms(o.Apps, 20)
+	if err != nil {
+		return nil, err
+	}
+	worstDiff, worstApp := 0.0, ""
+	for _, r := range fa {
+		paper, ok := experiment.PaperKStestFalseAlarmRate[r.App]
+		if !ok {
+			continue
+		}
+		diff := abs(r.Rate - paper)
+		if diff > worstDiff {
+			worstDiff, worstApp = diff, r.App
+		}
+	}
+	add("sec3.2/falsealarm-calibration",
+		"per-app KStest false-alarm rates match the paper within ±20 points (20-interval noise)",
+		worstDiff <= 0.20, fmt.Sprintf("worst |measured−paper| = %.0f points (%s)", 100*worstDiff, worstApp))
+
+	// Figs. 2–6 observations.
+	logf("running attack-impact traces...")
+	dropOK, gainOK := true, true
+	detail26 := ""
+	for _, app := range o.Apps {
+		trB, err := cfg.AttackTrace(app, attack.BusLock, 120)
+		if err != nil {
+			return nil, err
+		}
+		trC, err := cfg.AttackTrace(app, attack.Cleanse, 120)
+		if err != nil {
+			return nil, err
+		}
+		if trB.MeanAfter > 0.7*trB.MeanBefore {
+			dropOK = false
+			detail26 += fmt.Sprintf("%s: weak access drop; ", app)
+		}
+		if trC.MeanAfter < 2*trC.MeanBefore {
+			gainOK = false
+			detail26 += fmt.Sprintf("%s: weak miss gain; ", app)
+		}
+	}
+	add("figs2-6/observation1a", "AccessNum drops ≥30% under bus locking for every application", dropOK, detail26)
+	add("figs2-6/observation1b", "MissNum at least doubles under LLC cleansing for every application", gainOK, detail26)
+
+	stretchOK := true
+	detailStretch := ""
+	for _, app := range workload.PeriodicApps() {
+		if !contains(o.Apps, app) {
+			continue
+		}
+		tr, err := cfg.AttackTrace(app, attack.BusLock, 120)
+		if err != nil {
+			return nil, err
+		}
+		detailStretch += fmt.Sprintf("%s: %d→%d; ", app, tr.PeriodBefore, tr.PeriodAfter)
+		if tr.PeriodBefore == 0 || float64(tr.PeriodAfter) < 1.15*float64(tr.PeriodBefore) {
+			stretchOK = false
+		}
+	}
+	add("figs2-6/observation2", "periodic applications' period stretches ≥15% under attack", stretchOK, detailStretch)
+
+	// Fig. 8 normal period.
+	if contains(o.Apps, workload.FaceNet) {
+		fig8, err := cfg.SDSPExample(workload.FaceNet, 300)
+		if err != nil {
+			return nil, err
+		}
+		add("fig8/period", "FaceNet MA-series period ≈ 17",
+			fig8.NormalPeriod >= 15 && fig8.NormalPeriod <= 19,
+			fmt.Sprintf("period=%d", fig8.NormalPeriod))
+	}
+
+	// Figs. 9–11 accuracy.
+	logf("running accuracy evaluation (%d runs/cell)...", cfg.Runs)
+	cells, err := cfg.Accuracy(o.Apps)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, accuracyChecks(cells)...)
+
+	// Fig. 12 overhead.
+	logf("running overhead evaluation...")
+	over, err := cfg.Overhead(o.Apps)
+	if err != nil {
+		return nil, err
+	}
+	checks = append(checks, overheadChecks(over)...)
+
+	// §3.4 exploration (negative result).
+	logf("running exploration study...")
+	expl, err := cfg.ExplorationStudy(o.Apps)
+	if err != nil {
+		return nil, err
+	}
+	explOK, explDetail := true, ""
+	for _, r := range expl {
+		for _, approach := range experiment.ExplorationApproaches() {
+			sep, err := r.Separation(approach)
+			if err != nil {
+				return nil, err
+			}
+			if sep > 0.45 {
+				explOK = false
+				explDetail += fmt.Sprintf("%s/%v/%s sep=%.2f; ", r.App, r.Attack, approach, sep)
+			}
+		}
+	}
+	add("sec3.4/negative-result", "no correlation approach separates attack from no-attack", explOK, explDetail)
+
+	// §4.2.2 estimator ablation.
+	abl, err := cfg.PeriodEstimatorAblation(300)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]experiment.PeriodEstimatorResult{}
+	for _, r := range abl {
+		byName[r.Method] = r
+	}
+	add("sec4.2.2/ablation",
+		"combined DFT–ACF beats single methods: fewer ACF period multiples, fewer DFT false detections",
+		byName["ACF-only"].MultipleErrors > byName["DFT-ACF"].MultipleErrors &&
+			byName["DFT-only"].FalseDetections > byName["DFT-ACF"].FalseDetections,
+		fmt.Sprintf("correct: dft=%.0f%% acf=%.0f%% combined=%.0f%%",
+			100*byName["DFT-only"].Correct, 100*byName["ACF-only"].Correct, 100*byName["DFT-ACF"].Correct))
+
+	if !o.SkipMicro {
+		// §2.3 defense study.
+		logf("running defense study (microsim)...")
+		def, err := cfg.DefenseStudy()
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, defenseChecks(def)...)
+
+		// Migration study.
+		logf("running migration study...")
+		study := experiment.MigrationStudyConfig{Seconds: 900}
+		none, err := cfg.MigrationStudy(study, experiment.PolicyNone, "")
+		if err != nil {
+			return nil, err
+		}
+		withSDS, err := cfg.MigrationStudy(study, experiment.PolicyOnAlarm, experiment.SchemeSDS)
+		if err != nil {
+			return nil, err
+		}
+		add("intro/migration",
+			"migration-on-alarm bounds attack exposure but the attacker keeps returning",
+			withSDS.UnderAttackFrac < none.UnderAttackFrac && withSDS.UnderAttackFrac > 0 && withSDS.Migrations >= 2,
+			fmt.Sprintf("exposure none=%.0f%% sds=%.0f%%, migrations=%d",
+				100*none.UnderAttackFrac, 100*withSDS.UnderAttackFrac, withSDS.Migrations))
+
+		// End-to-end microsim detection.
+		logf("running end-to-end microsim detection...")
+		detected, total := 0, 0
+		for _, app := range o.Apps {
+			for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
+				r, err := experiment.MicroConfig{App: app, AttackKind: kind, Seed: o.Seed}.MicroDetectionRun()
+				if err != nil {
+					return nil, err
+				}
+				total++
+				if r.Detected {
+					detected++
+				}
+			}
+		}
+		add("microsim/end-to-end",
+			"SDS/B detects both attacks from simulated hardware counters for ≥90% of applications",
+			float64(detected) >= 0.9*float64(total),
+			fmt.Sprintf("%d/%d cells detected", detected, total))
+	}
+
+	sort.SliceStable(checks, func(i, j int) bool { return checks[i].ID < checks[j].ID })
+	return checks, nil
+}
+
+// accuracyChecks verifies the Fig. 9–11 claims over the evaluated cells.
+func accuracyChecks(cells []experiment.AccuracyCell) []Check {
+	var (
+		sdsRecallMin                  = 101.0
+		sdsSpecMin, sdsSpecMax        = 101.0, -1.0
+		ksSpecMin, ksSpecMax          = 101.0, -1.0
+		sdsDelayMin, sdsDelayMax      = 1e9, -1.0
+		ksDelayMedSum, sdsDelayMedSum float64
+		ksCells, sdsCells             int
+	)
+	for _, c := range cells {
+		switch c.Scheme {
+		case experiment.SchemeSDS:
+			sdsCells++
+			sdsRecallMin = min(sdsRecallMin, c.Recall.Median)
+			sdsSpecMin = min(sdsSpecMin, c.Specificity.Median)
+			sdsSpecMax = max(sdsSpecMax, c.Specificity.Median)
+			sdsDelayMin = min(sdsDelayMin, c.Delay.Median)
+			sdsDelayMax = max(sdsDelayMax, c.Delay.Median)
+			sdsDelayMedSum += c.Delay.Median
+		case experiment.SchemeKSTest:
+			ksCells++
+			ksSpecMin = min(ksSpecMin, c.Specificity.Median)
+			ksSpecMax = max(ksSpecMax, c.Specificity.Median)
+			ksDelayMedSum += c.Delay.Median
+		}
+	}
+	var out []Check
+	out = append(out, Check{
+		ID:     "fig9/recall",
+		Claim:  "SDS median recall is 100% for every application and attack",
+		Pass:   sdsRecallMin >= 99.5,
+		Detail: fmt.Sprintf("min SDS recall median = %.1f%%", sdsRecallMin),
+	})
+	out = append(out, Check{
+		ID:     "fig10/sds-range",
+		Claim:  "SDS specificity medians lie in the paper's 90–100% band",
+		Pass:   sdsSpecMin >= 90,
+		Detail: fmt.Sprintf("SDS specificity medians span [%.0f, %.0f]%%", sdsSpecMin, sdsSpecMax),
+	})
+	out = append(out, Check{
+		ID:     "fig10/kstest-range",
+		Claim:  "KStest specificity medians fall well below SDS (paper: 30–80%)",
+		Pass:   ksSpecMax <= 90 && ksSpecMin < sdsSpecMin,
+		Detail: fmt.Sprintf("KStest specificity medians span [%.0f, %.0f]%%", ksSpecMin, ksSpecMax),
+	})
+	out = append(out, Check{
+		ID:     "fig11/sds-range",
+		Claim:  "SDS detection-delay medians lie in the paper's 15–30 s band",
+		Pass:   sdsDelayMin >= 13 && sdsDelayMax <= 32,
+		Detail: fmt.Sprintf("SDS delay medians span [%.1f, %.1f] s", sdsDelayMin, sdsDelayMax),
+	})
+	if sdsCells > 0 && ksCells > 0 {
+		sdsAvg := sdsDelayMedSum / float64(sdsCells)
+		ksAvg := ksDelayMedSum / float64(ksCells)
+		out = append(out, Check{
+			ID:     "fig11/ordering",
+			Claim:  "SDS detects faster than KStest on average",
+			Pass:   sdsAvg < ksAvg,
+			Detail: fmt.Sprintf("mean delay medians: SDS %.1f s vs KStest %.1f s", sdsAvg, ksAvg),
+		})
+	}
+	return out
+}
+
+// overheadChecks verifies the Fig. 12 claims.
+func overheadChecks(cells []experiment.OverheadCell) []Check {
+	sdsMin, sdsMax := 10.0, -1.0
+	ksMin, ksMax := 10.0, -1.0
+	for _, c := range cells {
+		switch c.Scheme {
+		case experiment.SchemeSDS:
+			sdsMin = min(sdsMin, c.Normalized.Median)
+			sdsMax = max(sdsMax, c.Normalized.Median)
+		case experiment.SchemeKSTest:
+			ksMin = min(ksMin, c.Normalized.Median)
+			ksMax = max(ksMax, c.Normalized.Median)
+		}
+	}
+	return []Check{
+		{
+			ID:     "fig12/sds",
+			Claim:  "SDS overhead ≈ 1–2% (paper: 1.01–1.02×)",
+			Pass:   sdsMin >= 1.0 && sdsMax <= 1.03,
+			Detail: fmt.Sprintf("SDS normalized exec time spans [%.3f, %.3f]", sdsMin, sdsMax),
+		},
+		{
+			ID:     "fig12/kstest",
+			Claim:  "KStest overhead ≈ 3–8% (paper: 1.03–1.08×) and above SDS",
+			Pass:   ksMin >= 1.03 && ksMax <= 1.09 && ksMin > sdsMax,
+			Detail: fmt.Sprintf("KStest normalized exec time spans [%.3f, %.3f]", ksMin, ksMax),
+		},
+	}
+}
+
+// defenseChecks verifies the §2.3 claims.
+func defenseChecks(results []experiment.DefenseResult) []Check {
+	byKey := map[string]experiment.DefenseResult{}
+	for _, r := range results {
+		key := r.Attack.String()
+		if r.Partitioned {
+			key += "/part"
+		}
+		byKey[key] = r
+	}
+	clean, cleanPart := byKey["llc-cleansing"], byKey["llc-cleansing/part"]
+	bus, busPart := byKey["bus-locking"], byKey["bus-locking/part"]
+	return []Check{
+		{
+			ID:     "sec2.3/partition-vs-cleansing",
+			Claim:  "way partitioning suppresses LLC cleansing",
+			Pass:   clean.MissRate > 5*cleanPart.MissRate+0.01,
+			Detail: fmt.Sprintf("victim miss rate %.4f → %.4f with partitioning", clean.MissRate, cleanPart.MissRate),
+		},
+		{
+			ID:     "sec2.3/partition-vs-buslock",
+			Claim:  "way partitioning cannot defeat bus locking",
+			Pass:   bus.ProgressRatio <= 0.45 && busPart.ProgressRatio <= 0.45,
+			Detail: fmt.Sprintf("victim progress %.0f%% unpartitioned, %.0f%% partitioned", 100*bus.ProgressRatio, 100*busPart.ProgressRatio),
+		},
+	}
+}
+
+// Render writes the checks as an aligned text report and returns the number
+// of failures.
+func Render(w io.Writer, checks []Check) (failures int, err error) {
+	tb := experiment.Table{
+		Title:  "Reproduction verification report",
+		Header: []string{"check", "verdict", "claim", "measured"},
+	}
+	for _, c := range checks {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+			failures++
+		}
+		tb.AddRow(c.ID, verdict, c.Claim, c.Detail)
+	}
+	if err := tb.Render(w); err != nil {
+		return failures, err
+	}
+	fmt.Fprintf(w, "\n%d/%d checks passed\n", len(checks)-failures, len(checks))
+	return failures, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestQuickVerificationPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification run is not short")
+	}
+	checks, err := Run(Options{
+		Runs:      2,
+		Apps:      []string{workload.KMeans, workload.FaceNet},
+		Seed:      1,
+		SkipMicro: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 10 {
+		t.Fatalf("only %d checks produced", len(checks))
+	}
+	var failed []string
+	for _, c := range checks {
+		if !c.Pass {
+			failed = append(failed, c.ID+": "+c.Detail)
+		}
+	}
+	// A 2-run verification is noisy; allow one marginal failure but no
+	// systematic breakage.
+	if len(failed) > 1 {
+		t.Fatalf("%d checks failed:\n%s", len(failed), strings.Join(failed, "\n"))
+	}
+}
+
+func TestRenderCountsFailures(t *testing.T) {
+	checks := []Check{
+		{ID: "a", Claim: "c1", Pass: true, Detail: "d1"},
+		{ID: "b", Claim: "c2", Pass: false, Detail: "d2"},
+	}
+	var buf bytes.Buffer
+	failures, err := Render(&buf, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "1/2 checks passed") {
+		t.Fatalf("report output:\n%s", out)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Runs != 8 || len(o.Apps) != 10 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,89 @@
+package signal
+
+import "math"
+
+// ACF returns the normalized autocorrelation function of x for lags
+// 0..maxLag (inclusive), so ACF(x, L)[0] == 1. maxLag is clamped to
+// len(x)-1. A constant (zero-variance) series yields 1 at lag zero and 0
+// elsewhere.
+func ACF(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, v := range x {
+		d := v - mean
+		c0 += d * d
+	}
+	out := make([]float64, maxLag+1)
+	out[0] = 1
+	if c0 == 0 {
+		return out
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		var c float64
+		for i := 0; i+lag < n; i++ {
+			c += (x[i] - mean) * (x[i+lag] - mean)
+		}
+		out[lag] = c / c0
+	}
+	return out
+}
+
+// onACFHill reports whether the given lag sits on a "hill" of the ACF: a
+// neighbourhood that rises to a local maximum. This is the validity test of
+// the DFT–ACF estimator — DFT candidates that fall in an ACF valley are
+// spurious spectral leakage, while true periods land on hills.
+func onACFHill(acf []float64, lag int) (peak int, ok bool) {
+	if lag <= 0 || lag >= len(acf) {
+		return 0, false
+	}
+	// Climb from the candidate to the nearest local maximum.
+	i := lag
+	for i+1 < len(acf) && acf[i+1] > acf[i] {
+		i++
+	}
+	for i-1 > 0 && acf[i-1] > acf[i] {
+		i--
+	}
+	// Reject if the climb wandered too far: the candidate must be within
+	// half of its own magnitude of the located peak.
+	if abs(i-lag)*2 > lag {
+		return 0, false
+	}
+	// The located maximum must be a real hill: clearly above the sampling
+	// noise of the ACF itself (whose standard error is ≈ 1/√n for white
+	// noise), with an absolute floor for long series.
+	minCorrelation := 3 / math.Sqrt(float64(len(acf)*2))
+	if minCorrelation < 0.1 {
+		minCorrelation = 0.1
+	}
+	// Short windows (SDS/P's W_P = 2p) estimate the ACF from few pairs, so
+	// even a strong period rarely exceeds ~0.4 there; cap the demand.
+	if minCorrelation > 0.25 {
+		minCorrelation = 0.25
+	}
+	if acf[i] < minCorrelation {
+		return 0, false
+	}
+	return i, true
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pearson returns the Pearson correlation coefficient of a and b. It errors
+// on mismatched or empty input, and returns 0 when either series has zero
+// variance.
+func Pearson(a, b []float64) (float64, error) {
+	if err := checkLengths("Pearson", a, b); err != nil {
+		return 0, err
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// CrossCorrelation returns the normalized cross-correlation of a and b for
+// lags -maxLag..maxLag; index maxLag+lag holds the value for a given lag
+// (positive lag means b delayed relative to a).
+func CrossCorrelation(a, b []float64, maxLag int) ([]float64, error) {
+	if err := checkLengths("CrossCorrelation", a, b); err != nil {
+		return nil, err
+	}
+	n := len(a)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	ma, mb := mean(a), mean(b)
+	var va, vb float64
+	for i := range a {
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	norm := math.Sqrt(va * vb)
+	out := make([]float64, 2*maxLag+1)
+	if norm == 0 {
+		return out, nil
+	}
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		var c float64
+		for i := 0; i < n; i++ {
+			j := i + lag
+			if j < 0 || j >= n {
+				continue
+			}
+			c += (a[i] - ma) * (b[j] - mb)
+		}
+		out[maxLag+lag] = c / norm
+	}
+	return out, nil
+}
+
+// SpectralCoherence estimates the magnitude-squared coherence between a and
+// b averaged over Welch segments of the given size with 50% overlap, and
+// returns the mean coherence across frequencies — the scalar the paper's
+// exploratory study (§3.4) compared across time. segment must be at least 4;
+// series shorter than one segment return an error.
+func SpectralCoherence(a, b []float64, segment int) (float64, error) {
+	if err := checkLengths("SpectralCoherence", a, b); err != nil {
+		return 0, err
+	}
+	if segment < 4 {
+		segment = 4
+	}
+	if len(a) < segment {
+		return 0, fmt.Errorf("signal: SpectralCoherence needs at least one segment of %d samples, got %d", segment, len(a))
+	}
+	step := segment / 2
+	nb := segment/2 + 1
+	sxx := make([]float64, nb)
+	syy := make([]float64, nb)
+	sxyRe := make([]float64, nb)
+	sxyIm := make([]float64, nb)
+	segments := 0
+	for start := 0; start+segment <= len(a); start += step {
+		fa := windowedFFT(a[start : start+segment])
+		fb := windowedFFT(b[start : start+segment])
+		for k := 0; k < nb; k++ {
+			ra, ia := real(fa[k]), imag(fa[k])
+			rb, ib := real(fb[k]), imag(fb[k])
+			sxx[k] += ra*ra + ia*ia
+			syy[k] += rb*rb + ib*ib
+			// X * conj(Y)
+			sxyRe[k] += ra*rb + ia*ib
+			sxyIm[k] += ia*rb - ra*ib
+		}
+		segments++
+	}
+	if segments == 0 {
+		return 0, nil
+	}
+	var sum float64
+	counted := 0
+	for k := 1; k < nb; k++ { // skip DC
+		den := sxx[k] * syy[k]
+		if den == 0 {
+			continue
+		}
+		sum += (sxyRe[k]*sxyRe[k] + sxyIm[k]*sxyIm[k]) / den
+		counted++
+	}
+	if counted == 0 {
+		return 0, nil
+	}
+	return sum / float64(counted), nil
+}
+
+// windowedFFT applies a Hann window to a demeaned copy of x and transforms.
+func windowedFFT(x []float64) []complex128 {
+	n := len(x)
+	m := mean(x)
+	cx := make([]complex128, n)
+	for i, v := range x {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		cx[i] = complex((v-m)*w, 0)
+	}
+	return FFT(cx)
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

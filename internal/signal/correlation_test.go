@@ -1,0 +1,169 @@
+package signal
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		name string
+		b    []float64
+		want float64
+	}{
+		{"identity", []float64{1, 2, 3, 4, 5}, 1},
+		{"negated", []float64{5, 4, 3, 2, 1}, -1},
+		{"scaled and shifted", []float64{12, 14, 16, 18, 20}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Pearson(a, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Pearson = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	got, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("Pearson with constant input = %v, want 0", got)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestPearsonUncorrelatedNoise(t *testing.T) {
+	r := randx.New(1, 2)
+	n := 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	got, err := Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.05 {
+		t.Fatalf("independent noise correlation = %v", got)
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	r := randx.New(3, 4)
+	const n, shift = 300, 7
+	base := make([]float64, n+shift)
+	for i := range base {
+		base[i] = r.Normal(0, 1)
+	}
+	a := base[:n]
+	b := base[shift : n+shift] // b[i] = a[i+shift] → peak at positive lag.
+	xc, err := CrossCorrelation(a, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range xc {
+		if xc[i] > xc[best] {
+			best = i
+		}
+	}
+	if gotLag := best - 20; gotLag != -shift {
+		t.Fatalf("peak at lag %d, want %d", gotLag, -shift)
+	}
+}
+
+func TestCrossCorrelationBounds(t *testing.T) {
+	r := randx.New(5, 6)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = r.Normal(5, 2)
+		b[i] = r.Normal(-1, 3)
+	}
+	xc, err := CrossCorrelation(a, b, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xc) != 61 {
+		t.Fatalf("len = %d, want 61", len(xc))
+	}
+	for i, v := range xc {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("xc[%d] = %v out of [-1,1]", i, v)
+		}
+	}
+}
+
+func TestCrossCorrelationConstant(t *testing.T) {
+	a := []float64{2, 2, 2, 2}
+	xc, err := CrossCorrelation(a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range xc {
+		if v != 0 {
+			t.Fatalf("constant series xc = %v, want zeros", xc)
+		}
+	}
+}
+
+func TestSpectralCoherenceIdenticalSignals(t *testing.T) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/16) + 0.5*math.Sin(2*math.Pi*float64(i)/5)
+	}
+	got, err := SpectralCoherence(x, x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.99 {
+		t.Fatalf("self coherence = %v, want ~1", got)
+	}
+}
+
+func TestSpectralCoherenceIndependentNoise(t *testing.T) {
+	r := randx.New(7, 8)
+	n := 2048
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	got, err := SpectralCoherence(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.35 {
+		t.Fatalf("independent-noise coherence = %v, want small", got)
+	}
+}
+
+func TestSpectralCoherenceErrors(t *testing.T) {
+	if _, err := SpectralCoherence([]float64{1, 2}, []float64{1}, 64); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SpectralCoherence([]float64{1, 2, 3}, []float64{1, 2, 3}, 64); err == nil {
+		t.Error("series shorter than segment accepted")
+	}
+}

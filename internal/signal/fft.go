@@ -1,0 +1,165 @@
+// Package signal implements the signal-processing substrate of SDS/P (paper
+// §4.2.2): the discrete Fourier transform, the autocorrelation function, and
+// the combined DFT–ACF period estimator of Vlachos et al. that SDS/P adopts.
+// It also provides the correlation measures (Pearson, cross-correlation,
+// spectral coherence) that the paper explored and rejected in §3.4.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. Any length is accepted:
+// power-of-two inputs use the iterative radix-2 algorithm and all other
+// lengths use Bluestein's chirp-z transform. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return dft(x, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of X, normalized by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	out := dft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+func dft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(x, inverse)
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT. len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution, which is in
+// turn computed with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w_k = exp(sign * i*pi*k^2/n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k^2 mod 2n to keep the angle argument small.
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real series.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// Periodogram returns the power spectral density estimate |X_k|^2 / N for
+// k = 0..N/2 of the (demeaned) real series x.
+func Periodogram(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v-mean, 0)
+	}
+	X := FFT(cx)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(X[k]), imag(X[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}
+
+// checkLengths validates that two series have equal, nonzero lengths.
+func checkLengths(op string, a, b []float64) error {
+	if len(a) == 0 || len(a) != len(b) {
+		return fmt.Errorf("signal: %s requires equal nonzero lengths, got %d and %d", op, len(a), len(b))
+	}
+	return nil
+}

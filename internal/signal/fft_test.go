@@ -1,0 +1,191 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func complexClose(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of [1,1,1,1] is [4,0,0,0]; FFT of an impulse is flat.
+	got := FFTReal([]float64{1, 1, 1, 1})
+	want := []complex128{4, 0, 0, 0}
+	for i := range want {
+		if !complexClose(got[i], want[i], 1e-12) {
+			t.Fatalf("FFT(ones)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	got = FFTReal([]float64{1, 0, 0, 0})
+	for i := range got {
+		if !complexClose(got[i], 1, 1e-12) {
+			t.Fatalf("FFT(impulse)[%d] = %v, want 1", i, got[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure cosine at bin k concentrates power at bins k and N-k.
+	const n, k = 64, 5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / n)
+	}
+	X := FFTReal(x)
+	for i, v := range X {
+		mag := cmplx.Abs(v)
+		if i == k || i == n-k {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Errorf("bin %d magnitude = %v, want %v", i, mag, float64(n)/2)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want 0", i, mag)
+		}
+	}
+}
+
+func TestFFTRoundTripPowerOfTwo(t *testing.T) {
+	r := randx.New(1, 2)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+		}
+		back := IFFT(FFT(x))
+		for i := range x {
+			if !complexClose(back[i], x[i], 1e-9) {
+				t.Fatalf("n=%d: round trip [%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTripArbitraryLength(t *testing.T) {
+	r := randx.New(3, 4)
+	for _, n := range []int{3, 5, 7, 12, 100, 101, 255} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+		}
+		back := IFFT(FFT(x))
+		for i := range x {
+			if !complexClose(back[i], x[i], 1e-8) {
+				t.Fatalf("n=%d: round trip [%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	r := randx.New(5, 6)
+	for _, n := range []int{4, 9, 16, 30} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+		}
+		fast := FFT(x)
+		for k := 0; k < n; k++ {
+			var want complex128
+			for j := 0; j < n; j++ {
+				angle := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+				want += x[j] * cmplx.Exp(complex(0, angle))
+			}
+			if !complexClose(fast[k], want, 1e-8) {
+				t.Fatalf("n=%d bin %d: fast %v, naive %v", n, k, fast[k], want)
+			}
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	r := randx.New(7, 8)
+	f := func(nRaw uint8, aRaw, bRaw int8) bool {
+		n := int(nRaw)%60 + 2
+		a := complex(float64(aRaw)/16, 0)
+		b := complex(float64(bRaw)/16, 0)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		combo := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(r.Normal(0, 1), 0)
+			y[i] = complex(r.Normal(0, 1), 0)
+			combo[i] = a*x[i] + b*y[i]
+		}
+		fx, fy, fc := FFT(x), FFT(y), FFT(combo)
+		for i := 0; i < n; i++ {
+			if !complexClose(fc[i], a*fx[i]+b*fy[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Sum |x|^2 == (1/N) Sum |X|^2.
+	r := randx.New(9, 10)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(r.Normal(0, 2), r.Normal(0, 2))
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X := FFT(x)
+		var freqEnergy float64
+		for _, v := range X {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) <= 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); got != nil {
+		t.Fatalf("FFT(nil) = %v, want nil", got)
+	}
+	if got := IFFT(nil); got != nil {
+		t.Fatalf("IFFT(nil) = %v, want nil", got)
+	}
+}
+
+func TestPeriodogramPeakAtPlantedFrequency(t *testing.T) {
+	const n, k = 200, 8
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 10*math.Sin(2*math.Pi*float64(k)*float64(i)/n)
+	}
+	spec := Periodogram(x)
+	best := 1
+	for i := 2; i < len(spec); i++ {
+		if spec[i] > spec[best] {
+			best = i
+		}
+	}
+	if best != k {
+		t.Fatalf("periodogram peak at bin %d, want %d", best, k)
+	}
+	if spec[0] > 1e-9 {
+		t.Fatalf("DC component %v after demeaning, want ~0", spec[0])
+	}
+}
+
+func TestPeriodogramEmpty(t *testing.T) {
+	if got := Periodogram(nil); got != nil {
+		t.Fatalf("Periodogram(nil) = %v", got)
+	}
+}

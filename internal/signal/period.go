@@ -1,0 +1,169 @@
+package signal
+
+import "sort"
+
+// PeriodEstimate is the result of DFT–ACF period detection.
+type PeriodEstimate struct {
+	// Period is the detected period in samples (an ACF-refined lag).
+	Period int
+	// Power is the periodogram power of the winning DFT candidate.
+	Power float64
+	// Candidates lists the DFT candidate periods that were examined, in
+	// decreasing power order (useful for diagnostics).
+	Candidates []int
+}
+
+// PeriodOptions tunes EstimatePeriod. The zero value selects the defaults
+// used by SDS/P.
+type PeriodOptions struct {
+	// MinPeriod rejects candidates shorter than this many samples
+	// (default 2): one- and two-sample "periods" are indistinguishable
+	// from noise.
+	MinPeriod int
+	// MaxPeriod rejects candidates longer than this many samples (default
+	// and hard cap: half the series length). Callers that know the
+	// plausible period range — e.g. the SDS profiler, for which a very
+	// long "period" is just slow phase alternation — can narrow it.
+	MaxPeriod int
+	// MaxCandidates bounds how many periodogram peaks are validated
+	// against the ACF (default 8).
+	MaxCandidates int
+	// PowerThreshold is the fraction of the strongest (non-DC) periodogram
+	// bin a candidate must reach to be considered (default 0.25). On top
+	// of this, every candidate must carry at least three times the mean
+	// non-DC bin power, so that featureless spectra yield no candidates.
+	PowerThreshold float64
+}
+
+func (o PeriodOptions) withDefaults() PeriodOptions {
+	if o.MinPeriod < 2 {
+		o.MinPeriod = 2
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 8
+	}
+	if o.PowerThreshold <= 0 {
+		o.PowerThreshold = 0.25
+	}
+	return o
+}
+
+// EstimatePeriod detects the dominant period of x using the combined
+// DFT–ACF method the paper adopts from Vlachos et al. (SDM '05):
+//
+//  1. the periodogram proposes candidate periods at its strongest
+//     frequencies (DFT alone may report spurious frequencies caused by
+//     spectral leakage), and
+//  2. each candidate is accepted only if it lies on a hill of the
+//     autocorrelation function, where it is refined to the exact ACF local
+//     maximum (ACF alone would also accept integer multiples of the true
+//     period, so the DFT ordering decides which hill to trust first).
+//
+// ok is false when no candidate passes validation — i.e. the series has no
+// detectable periodicity.
+func EstimatePeriod(x []float64, opts PeriodOptions) (PeriodEstimate, bool) {
+	o := opts.withDefaults()
+	n := len(x)
+	if n < 2*o.MinPeriod {
+		return PeriodEstimate{}, false
+	}
+	spec := Periodogram(x)
+	var total, peak float64
+	for k := 1; k < len(spec); k++ {
+		total += spec[k]
+		if spec[k] > peak {
+			peak = spec[k]
+		}
+	}
+	if total == 0 {
+		return PeriodEstimate{}, false
+	}
+	mean := total / float64(len(spec)-1)
+	floor := 2 * mean
+	if t := o.PowerThreshold * peak; t > floor {
+		floor = t
+	}
+	type candidate struct {
+		k     int
+		power float64
+	}
+	maxPeriod := n / 2
+	if o.MaxPeriod > 0 && o.MaxPeriod < maxPeriod {
+		maxPeriod = o.MaxPeriod
+	}
+	var cands []candidate
+	for k := 1; k < len(spec); k++ {
+		period := n / k
+		if period < o.MinPeriod || period > maxPeriod {
+			continue
+		}
+		if spec[k] >= floor {
+			cands = append(cands, candidate{k: k, power: spec[k]})
+		}
+	}
+	if len(cands) == 0 {
+		return PeriodEstimate{}, false
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].power > cands[j].power })
+	if len(cands) > o.MaxCandidates {
+		cands = cands[:o.MaxCandidates]
+	}
+	est := PeriodEstimate{Candidates: make([]int, 0, len(cands))}
+	acf := ACF(x, n/2)
+	for _, c := range cands {
+		period := n / c.k
+		est.Candidates = append(est.Candidates, period)
+		if refined, ok := onACFHill(acf, period); ok {
+			est.Period = refined
+			est.Power = c.power
+			return est, true
+		}
+	}
+	return est, false
+}
+
+// IsPeriodic reports whether the series has a stable detectable period: the
+// period estimated on the first and second halves of the series must both
+// exist and agree within tolerance (fractional difference). This is the
+// Stage-1 periodicity check the paper runs when a VM is newly started or
+// migrated.
+func IsPeriodic(x []float64, tolerance float64, opts PeriodOptions) (period int, ok bool) {
+	if len(x) < 8 {
+		return 0, false
+	}
+	whole, ok := EstimatePeriod(x, opts)
+	if !ok {
+		return 0, false
+	}
+	half := len(x) / 2
+	a, okA := EstimatePeriod(x[:half], opts)
+	b, okB := EstimatePeriod(x[half:], opts)
+	if !okA || !okB {
+		return 0, false
+	}
+	if relDiff(float64(a.Period), float64(b.Period)) > tolerance {
+		return 0, false
+	}
+	if relDiff(float64(whole.Period), float64(a.Period)) > tolerance {
+		// The whole-series estimate may lock onto a harmonic; trust the
+		// halves when they agree with each other but not with it.
+		return a.Period, true
+	}
+	return whole.Period, true
+}
+
+// relDiff returns |a-b| / max(|a|,|b|) (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	den := max(absf(a), absf(b))
+	if den == 0 {
+		return 0
+	}
+	return absf(a-b) / den
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

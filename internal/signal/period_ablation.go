@@ -1,0 +1,78 @@
+package signal
+
+// Single-method period estimators. The paper (§4.2.2) explains why SDS/P
+// uses neither alone: DFT "may detect false frequencies that do not exist
+// in the time series" (spectral leakage), while ACF "may result in the
+// detection of multiples of a true period". These estimators exist so the
+// repository can reproduce that motivation experimentally (see
+// experiment.PeriodEstimatorAblation); EstimatePeriod is the combined
+// method SDS/P actually uses.
+
+// EstimatePeriodDFTOnly returns the period corresponding to the strongest
+// periodogram bin, with no ACF validation.
+func EstimatePeriodDFTOnly(x []float64, opts PeriodOptions) (int, bool) {
+	o := opts.withDefaults()
+	n := len(x)
+	if n < 2*o.MinPeriod {
+		return 0, false
+	}
+	spec := Periodogram(x)
+	maxPeriod := n / 2
+	if o.MaxPeriod > 0 && o.MaxPeriod < maxPeriod {
+		maxPeriod = o.MaxPeriod
+	}
+	best, bestPower := 0, 0.0
+	var total float64
+	for k := 1; k < len(spec); k++ {
+		total += spec[k]
+		period := n / k
+		if period < o.MinPeriod || period > maxPeriod {
+			continue
+		}
+		if spec[k] > bestPower {
+			best, bestPower = period, spec[k]
+		}
+	}
+	if best == 0 || total == 0 {
+		return 0, false
+	}
+	// The same significance floor the combined method uses, so the
+	// comparison isolates the missing ACF validation.
+	mean := total / float64(len(spec)-1)
+	if bestPower < 2*mean {
+		return 0, false
+	}
+	return best, true
+}
+
+// EstimatePeriodACFOnly returns the lag of the first significant local
+// maximum of the autocorrelation function, with no spectral guidance. This
+// is where multiple-of-period errors come from: if noise suppresses the
+// first peak slightly, the next peak (at 2p, 3p, …) wins.
+func EstimatePeriodACFOnly(x []float64, opts PeriodOptions) (int, bool) {
+	o := opts.withDefaults()
+	n := len(x)
+	if n < 2*o.MinPeriod {
+		return 0, false
+	}
+	maxLag := n / 2
+	if o.MaxPeriod > 0 && o.MaxPeriod < maxLag {
+		maxLag = o.MaxPeriod
+	}
+	acf := ACF(x, maxLag)
+	best, bestVal := 0, 0.0
+	for lag := o.MinPeriod; lag < len(acf); lag++ {
+		if lag == 0 || lag+1 >= len(acf) {
+			continue
+		}
+		// Local maximum above the noise floor.
+		if acf[lag] > acf[lag-1] && acf[lag] >= acf[lag+1] && acf[lag] > bestVal {
+			best, bestVal = lag, acf[lag]
+		}
+	}
+	const minCorrelation = 0.2
+	if best == 0 || bestVal < minCorrelation {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,189 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// sawtooth builds a noisy repeating ramp with the given period in samples,
+// resembling the periodic MA patterns of PCA/FaceNet in the paper.
+func sawtooth(n, period int, noise float64, r *randx.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		phase := float64(i%period) / float64(period)
+		out[i] = 100 + 40*phase
+		if noise > 0 {
+			out[i] += r.Normal(0, noise)
+		}
+	}
+	return out
+}
+
+func TestACFBasics(t *testing.T) {
+	r := randx.New(1, 2)
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	acf := ACF(x, 50)
+	if len(acf) != 51 {
+		t.Fatalf("len = %d, want 51", len(acf))
+	}
+	if acf[0] != 1 {
+		t.Fatalf("ACF[0] = %v, want 1", acf[0])
+	}
+	for lag, v := range acf {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("ACF[%d] = %v out of [-1,1]", lag, v)
+		}
+	}
+}
+
+func TestACFOfPeriodicSignalPeaksAtPeriod(t *testing.T) {
+	const period = 20
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	acf := ACF(x, 40)
+	// The lag-20 value should be a local max and near 1.
+	if acf[period] < 0.9 {
+		t.Fatalf("ACF at period = %v, want > 0.9", acf[period])
+	}
+	if acf[period] < acf[period-1] || acf[period] < acf[period+1] {
+		t.Fatalf("ACF at period is not a local max: %v %v %v",
+			acf[period-1], acf[period], acf[period+1])
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf := ACF([]float64{5, 5, 5, 5, 5}, 3)
+	if acf[0] != 1 {
+		t.Fatalf("ACF[0] = %v", acf[0])
+	}
+	for lag := 1; lag < len(acf); lag++ {
+		if acf[lag] != 0 {
+			t.Fatalf("ACF[%d] = %v, want 0 for constant series", lag, acf[lag])
+		}
+	}
+}
+
+func TestACFEdgeCases(t *testing.T) {
+	if got := ACF(nil, 5); got != nil {
+		t.Fatalf("ACF(nil) = %v", got)
+	}
+	got := ACF([]float64{1, 2, 3}, 99)
+	if len(got) != 3 {
+		t.Fatalf("maxLag clamp: len = %d, want 3", len(got))
+	}
+	got = ACF([]float64{1, 2, 3}, -4)
+	if len(got) != 1 {
+		t.Fatalf("negative maxLag: len = %d, want 1", len(got))
+	}
+}
+
+func TestEstimatePeriodRecoversPlantedPeriods(t *testing.T) {
+	r := randx.New(3, 4)
+	for _, period := range []int{10, 17, 25, 34} {
+		x := sawtooth(12*period, period, 2, r)
+		est, ok := EstimatePeriod(x, PeriodOptions{})
+		if !ok {
+			t.Fatalf("period %d: no period detected", period)
+		}
+		if relDiff(float64(est.Period), float64(period)) > 0.15 {
+			t.Fatalf("period %d: estimated %d", period, est.Period)
+		}
+	}
+}
+
+func TestEstimatePeriodRejectsNoise(t *testing.T) {
+	r := randx.New(5, 6)
+	falsePositives := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		x := make([]float64, 200)
+		for i := range x {
+			x[i] = r.Normal(100, 5)
+		}
+		if _, ok := EstimatePeriod(x, PeriodOptions{}); ok {
+			falsePositives++
+		}
+	}
+	// White noise occasionally produces a spurious hill; demand it is rare.
+	if falsePositives > trials/5 {
+		t.Fatalf("detected periods in %d/%d pure-noise series", falsePositives, trials)
+	}
+}
+
+func TestEstimatePeriodShortInput(t *testing.T) {
+	if _, ok := EstimatePeriod([]float64{1, 2, 3}, PeriodOptions{}); ok {
+		t.Fatal("detected a period in a 3-sample series")
+	}
+	if _, ok := EstimatePeriod(nil, PeriodOptions{}); ok {
+		t.Fatal("detected a period in an empty series")
+	}
+}
+
+func TestEstimatePeriodConstantSeries(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 42
+	}
+	if _, ok := EstimatePeriod(x, PeriodOptions{}); ok {
+		t.Fatal("detected a period in a constant series")
+	}
+}
+
+func TestEstimatePeriodStretchDetectable(t *testing.T) {
+	// The SDS/P attack signal: a stretched period must read >20% longer.
+	r := randx.New(7, 8)
+	normal := sawtooth(340, 17, 1.5, r)
+	stretched := sawtooth(340, 23, 1.5, r) // ~35% longer
+	en, okN := EstimatePeriod(normal, PeriodOptions{})
+	es, okS := EstimatePeriod(stretched, PeriodOptions{})
+	if !okN || !okS {
+		t.Fatalf("detection failed: normal ok=%v attack ok=%v", okN, okS)
+	}
+	if relDiff(float64(es.Period), float64(en.Period)) <= 0.2 {
+		t.Fatalf("stretch not detectable: normal %d vs stretched %d", en.Period, es.Period)
+	}
+}
+
+func TestEstimatePeriodProperty(t *testing.T) {
+	// Property: planted sawtooth periods in [8, 40] are recovered within 20%
+	// across random phases and mild noise.
+	r := randx.New(9, 10)
+	f := func(pRaw, offRaw uint8) bool {
+		period := int(pRaw)%33 + 8
+		x := sawtooth(10*period+int(offRaw)%period, period, 1, r)
+		est, ok := EstimatePeriod(x, PeriodOptions{})
+		if !ok {
+			return false
+		}
+		return relDiff(float64(est.Period), float64(period)) <= 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPeriodic(t *testing.T) {
+	r := randx.New(11, 12)
+	periodic := sawtooth(400, 20, 1, r)
+	if p, ok := IsPeriodic(periodic, 0.2, PeriodOptions{}); !ok || relDiff(float64(p), 20) > 0.2 {
+		t.Fatalf("IsPeriodic(periodic) = (%d, %v)", p, ok)
+	}
+	noise := make([]float64, 400)
+	for i := range noise {
+		noise[i] = r.Normal(0, 1)
+	}
+	if p, ok := IsPeriodic(noise, 0.2, PeriodOptions{}); ok {
+		t.Fatalf("IsPeriodic(noise) = (%d, true)", p)
+	}
+	if _, ok := IsPeriodic(noise[:4], 0.2, PeriodOptions{}); ok {
+		t.Fatal("IsPeriodic accepted a 4-sample series")
+	}
+}

@@ -1,0 +1,41 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes columns of equal length as CSV with the given headers.
+// It is used by the cmd/ tools to export figure data for plotting.
+func WriteCSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("timeseries: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := 0
+	for i, c := range cols {
+		if i == 0 {
+			n = len(c)
+			continue
+		}
+		if len(c) != n {
+			return fmt.Errorf("timeseries: column %q has %d rows, want %d", headers[i], len(c), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	row := make([]string, len(cols))
+	for r := 0; r < n; r++ {
+		for c := range cols {
+			row[c] = strconv.FormatFloat(cols[c][r], 'g', 8, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

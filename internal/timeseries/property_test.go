@@ -1,0 +1,147 @@
+package timeseries
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+func TestMovingAverageWindowOneIsIdentity(t *testing.T) {
+	r := randx.New(40, 41)
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = r.Normal(0, 5)
+	}
+	out, err := MovingAverage(data, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("len = %d, want %d", len(out), len(data))
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("W=1 MA differs at %d: %v != %v", i, out[i], data[i])
+		}
+	}
+}
+
+func TestMovingAverageLinearityProperty(t *testing.T) {
+	// MA(a·x + b) == a·MA(x) + b.
+	r := randx.New(42, 43)
+	f := func(aRaw, bRaw int8) bool {
+		a := float64(aRaw)/16 + 0.5
+		b := float64(bRaw)
+		x := make([]float64, 300)
+		y := make([]float64, 300)
+		for i := range x {
+			x[i] = r.Normal(10, 3)
+			y[i] = a*x[i] + b
+		}
+		mx, err1 := MovingAverage(x, 50, 10)
+		my, err2 := MovingAverage(y, 50, 10)
+		if err1 != nil || err2 != nil || len(mx) != len(my) {
+			return false
+		}
+		for i := range mx {
+			if math.Abs(my[i]-(a*mx[i]+b)) > 1e-6*(1+math.Abs(my[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMALinearityProperty(t *testing.T) {
+	r := randx.New(44, 45)
+	f := func(alphaRaw uint8, aRaw int8) bool {
+		alpha := (float64(alphaRaw) + 1) / 256
+		a := float64(aRaw)/16 + 0.5
+		e1, err1 := NewEWMA(alpha)
+		e2, err2 := NewEWMA(alpha)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			x := r.Normal(0, 4)
+			v1 := e1.Push(x)
+			v2 := e2.Push(a * x)
+			if math.Abs(v2-a*v1) > 1e-9*(1+math.Abs(v2)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	// Percentile is non-decreasing in p and bracketed by min/max.
+	r := randx.New(46, 47)
+	f := func(n uint8) bool {
+		count := int(n)%100 + 1
+		data := make([]float64, count)
+		for i := range data {
+			data[i] = r.Normal(0, 10)
+		}
+		lo, hi := MinMax(data)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(data, p)
+			if v < prev-1e-12 || v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeMatchesSortedDefinition(t *testing.T) {
+	r := randx.New(48, 49)
+	data := make([]float64, 501)
+	for i := range data {
+		data[i] = r.Normal(50, 20)
+	}
+	s := Summarize(data)
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	if s.Min != sorted[0] || s.Max != sorted[len(sorted)-1] {
+		t.Fatalf("min/max mismatch: %+v", s)
+	}
+	if s.Median != sorted[250] {
+		t.Fatalf("median %v, want %v", s.Median, sorted[250])
+	}
+	if s.P10 > s.Median || s.Median > s.P90 {
+		t.Fatalf("percentile ordering broken: %+v", s)
+	}
+}
+
+func TestStdDevShiftInvariantProperty(t *testing.T) {
+	r := randx.New(50, 51)
+	f := func(shiftRaw int16) bool {
+		shift := float64(shiftRaw)
+		x := make([]float64, 100)
+		y := make([]float64, 100)
+		for i := range x {
+			x[i] = r.Normal(0, 7)
+			y[i] = x[i] + shift
+		}
+		return math.Abs(StdDev(x)-StdDev(y)) < 1e-7*(1+StdDev(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package vmm models the virtualized server of the paper's testbed: a
+// physical machine whose VMs share a last-level cache and a memory bus, a
+// scheduler that advances them in virtual time, and the execution-throttling
+// primitive the KStest baseline detector relies on (pausing every VM except
+// the protected one while reference samples are collected).
+//
+// Per-VM execution progress is tracked explicitly so the evaluation can
+// compute normalized execution times (the paper's performance-overhead
+// metric, Fig. 12) without wall-clock measurement.
+package vmm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/membus"
+)
+
+// Workload generates the memory behaviour of one VM in the
+// micro-architectural simulation.
+type Workload interface {
+	// Name identifies the workload (e.g. "terasort", "buslock-attack").
+	Name() string
+	// Demand returns how many LLC accesses the workload wants to issue
+	// during a tick of dt virtual seconds, and the fraction of the tick it
+	// holds atomic bus locks (nonzero only for the bus-lock attacker).
+	Demand(dt float64) (accesses int, lockFraction float64)
+	// Issue performs granted accesses against the shared cache on behalf
+	// of owner. granted may be less than the demand when the bus is
+	// contended or locked.
+	Issue(granted int, c *cachesim.Cache, owner cachesim.Owner)
+}
+
+// VM is one virtual machine placed on a Machine.
+type VM struct {
+	id       int
+	name     string
+	workload Workload
+	paused   bool
+
+	progress float64 // useful execution seconds achieved
+	demanded uint64  // cumulative demanded accesses
+	granted  uint64  // cumulative granted accesses
+}
+
+// ID returns the VM's dense index on its machine (also its cache owner id).
+func (v *VM) ID() int { return v.id }
+
+// Name returns the VM name.
+func (v *VM) Name() string { return v.name }
+
+// Paused reports whether the VM is currently throttled.
+func (v *VM) Paused() bool { return v.paused }
+
+// Progress returns the useful execution seconds the VM has achieved. A VM
+// that is never paused and never starved progresses at 1 second per
+// simulated second; throttling and bus starvation slow it down.
+func (v *VM) Progress() float64 { return v.progress }
+
+// Granted returns the cumulative number of LLC accesses the VM performed.
+func (v *VM) Granted() uint64 { return v.granted }
+
+// Demanded returns the cumulative number of LLC accesses the VM requested.
+func (v *VM) Demanded() uint64 { return v.demanded }
+
+// Machine is the simulated physical server.
+type Machine struct {
+	cache *cachesim.Cache
+	bus   *membus.Bus
+	vms   []*VM
+	now   float64
+}
+
+// NewMachine assembles a server from its shared hardware resources.
+func NewMachine(cache *cachesim.Cache, bus *membus.Bus) (*Machine, error) {
+	if cache == nil || bus == nil {
+		return nil, fmt.Errorf("vmm: machine requires a cache and a bus")
+	}
+	return &Machine{cache: cache, bus: bus}, nil
+}
+
+// AddVM places a VM running the given workload on the machine and returns it.
+func (m *Machine) AddVM(name string, w Workload) (*VM, error) {
+	if w == nil {
+		return nil, fmt.Errorf("vmm: VM %q requires a workload", name)
+	}
+	vm := &VM{id: len(m.vms), name: name, workload: w}
+	m.vms = append(m.vms, vm)
+	return vm, nil
+}
+
+// VMs returns the machine's VMs in placement order. The returned slice is a
+// copy; the VMs themselves are shared.
+func (m *Machine) VMs() []*VM {
+	out := make([]*VM, len(m.vms))
+	copy(out, m.vms)
+	return out
+}
+
+// Cache returns the machine's shared LLC.
+func (m *Machine) Cache() *cachesim.Cache { return m.cache }
+
+// Bus returns the machine's shared memory bus.
+func (m *Machine) Bus() *membus.Bus { return m.bus }
+
+// Now returns the current virtual time in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// Pause throttles the VM with the given id (idempotent).
+func (m *Machine) Pause(id int) error {
+	vm, err := m.vm(id)
+	if err != nil {
+		return err
+	}
+	vm.paused = true
+	return nil
+}
+
+// Resume unthrottles the VM with the given id (idempotent).
+func (m *Machine) Resume(id int) error {
+	vm, err := m.vm(id)
+	if err != nil {
+		return err
+	}
+	vm.paused = false
+	return nil
+}
+
+// PauseAllExcept throttles every VM except the one given — the execution
+// throttling step of the KStest baseline's reference collection.
+func (m *Machine) PauseAllExcept(id int) error {
+	if _, err := m.vm(id); err != nil {
+		return err
+	}
+	for _, vm := range m.vms {
+		vm.paused = vm.id != id
+	}
+	return nil
+}
+
+// ResumeAll unthrottles every VM.
+func (m *Machine) ResumeAll() {
+	for _, vm := range m.vms {
+		vm.paused = false
+	}
+}
+
+// Tick advances virtual time by dt seconds: it gathers demands from all
+// runnable VMs, lets the bus arbitrate, and has each VM issue its granted
+// accesses against the shared cache. Paused VMs neither demand nor progress.
+func (m *Machine) Tick(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("vmm: tick duration must be positive, got %v", dt)
+	}
+	demands := make([]membus.Demand, 0, len(m.vms))
+	for _, vm := range m.vms {
+		if vm.paused {
+			continue
+		}
+		accesses, lock := vm.workload.Demand(dt)
+		if accesses < 0 {
+			return fmt.Errorf("vmm: workload %q returned negative demand %d", vm.workload.Name(), accesses)
+		}
+		demands = append(demands, membus.Demand{Owner: vm.id, Accesses: accesses, LockFraction: lock})
+	}
+	grants, err := m.bus.Allocate(dt, demands)
+	if err != nil {
+		return fmt.Errorf("vmm: bus allocation: %w", err)
+	}
+	for i, g := range grants {
+		vm := m.vms[g.Owner]
+		d := demands[i]
+		vm.demanded += uint64(d.Accesses)
+		vm.granted += uint64(g.Accesses)
+		vm.workload.Issue(g.Accesses, m.cache, cachesim.Owner(vm.id))
+		// Progress at the fraction of demanded memory work that actually
+		// completed; a VM with no memory demand this tick progresses fully.
+		if d.Accesses > 0 {
+			vm.progress += dt * float64(g.Accesses) / float64(d.Accesses)
+		} else {
+			vm.progress += dt
+		}
+	}
+	m.now += dt
+	return nil
+}
+
+// Run advances the machine until virtual time reaches deadline, in steps of
+// dt seconds (the final step count is rounded, so floating-point drift never
+// adds a spurious extra tick).
+func (m *Machine) Run(deadline, dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("vmm: run step must be positive, got %v", dt)
+	}
+	ticks := int(math.Round((deadline - m.now) / dt))
+	for i := 0; i < ticks; i++ {
+		if err := m.Tick(dt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheStats returns the shared-cache counters attributed to the VM.
+func (m *Machine) CacheStats(id int) (cachesim.Stats, error) {
+	if _, err := m.vm(id); err != nil {
+		return cachesim.Stats{}, err
+	}
+	return m.cache.Stats(cachesim.Owner(id)), nil
+}
+
+func (m *Machine) vm(id int) (*VM, error) {
+	if id < 0 || id >= len(m.vms) {
+		return nil, fmt.Errorf("vmm: no VM with id %d (have %d)", id, len(m.vms))
+	}
+	return m.vms[id], nil
+}

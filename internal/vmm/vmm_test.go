@@ -1,0 +1,247 @@
+package vmm
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/membus"
+	"github.com/memdos/sds/internal/randx"
+)
+
+// fixedWorkload demands a constant rate and touches a small private buffer.
+type fixedWorkload struct {
+	name   string
+	perSec float64
+	lock   float64
+	base   uint64
+	issued int
+}
+
+func (f *fixedWorkload) Name() string { return f.name }
+
+func (f *fixedWorkload) Demand(dt float64) (int, float64) {
+	return int(f.perSec * dt), f.lock
+}
+
+func (f *fixedWorkload) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		c.Access(owner, f.base+uint64(i%64)*64)
+	}
+	f.issued += granted
+}
+
+func newMachine(t *testing.T, busPerSec float64) *Machine {
+	t.Helper()
+	cache, err := cachesim.New(cachesim.Config{SizeBytes: 256 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := membus.New(busPerSec, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cache, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(nil, nil); err == nil {
+		t.Error("nil resources accepted")
+	}
+}
+
+func TestAddVMValidation(t *testing.T) {
+	m := newMachine(t, 1e6)
+	if _, err := m.AddVM("x", nil); err == nil {
+		t.Error("nil workload accepted")
+	}
+	vm, err := m.AddVM("victim", &fixedWorkload{name: "w", perSec: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.ID() != 0 || vm.Name() != "victim" {
+		t.Fatalf("vm = %d %q", vm.ID(), vm.Name())
+	}
+}
+
+func TestTickValidation(t *testing.T) {
+	m := newMachine(t, 1e6)
+	if err := m.Tick(0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestUncontendedProgressIsRealTime(t *testing.T) {
+	m := newMachine(t, 1e6)
+	w := &fixedWorkload{name: "app", perSec: 1000}
+	vm, _ := m.AddVM("v", w)
+	if err := m.Run(10, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Now()-10) > 1e-9 {
+		t.Fatalf("Now = %v, want 10", m.Now())
+	}
+	if math.Abs(vm.Progress()-10) > 1e-6 {
+		t.Fatalf("progress = %v, want 10", vm.Progress())
+	}
+	if vm.Granted() != vm.Demanded() {
+		t.Fatalf("granted %d != demanded %d without contention", vm.Granted(), vm.Demanded())
+	}
+}
+
+func TestThrottlingStopsProgressAndCounters(t *testing.T) {
+	m := newMachine(t, 1e6)
+	w0 := &fixedWorkload{name: "protected", perSec: 1000}
+	w1 := &fixedWorkload{name: "other", perSec: 1000, base: 1 << 30}
+	vm0, _ := m.AddVM("protected", w0)
+	vm1, _ := m.AddVM("other", w1)
+	if err := m.PauseAllExcept(vm0.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !vm1.Paused() || vm0.Paused() {
+		t.Fatal("wrong pause states")
+	}
+	if err := m.Run(5, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Progress() != 0 || vm1.Granted() != 0 {
+		t.Fatalf("paused VM progressed: %v / %d", vm1.Progress(), vm1.Granted())
+	}
+	m.ResumeAll()
+	if err := m.Run(10, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Progress() <= 0 {
+		t.Fatal("resumed VM made no progress")
+	}
+	// The throttled VM lost exactly the paused window: 5s of a 10s run.
+	if math.Abs(vm1.Progress()-5) > 1e-6 {
+		t.Fatalf("throttled progress = %v, want 5", vm1.Progress())
+	}
+}
+
+func TestPauseValidation(t *testing.T) {
+	m := newMachine(t, 1e6)
+	if err := m.Pause(0); err == nil {
+		t.Error("pause of unknown VM accepted")
+	}
+	if err := m.PauseAllExcept(3); err == nil {
+		t.Error("PauseAllExcept of unknown VM accepted")
+	}
+	if _, err := m.CacheStats(0); err == nil {
+		t.Error("CacheStats of unknown VM accepted")
+	}
+}
+
+func TestBusContentionSlowsProgress(t *testing.T) {
+	// Two VMs demanding 2x the bus capacity each make ~50% progress.
+	m := newMachine(t, 100000)
+	w0 := &fixedWorkload{name: "a", perSec: 100000}
+	w1 := &fixedWorkload{name: "b", perSec: 100000, base: 1 << 30}
+	vm0, _ := m.AddVM("a", w0)
+	vm1, _ := m.AddVM("b", w1)
+	if err := m.Run(10, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range []*VM{vm0, vm1} {
+		if math.Abs(vm.Progress()-5) > 0.2 {
+			t.Fatalf("%s progress = %v, want ~5", vm.Name(), vm.Progress())
+		}
+	}
+}
+
+func TestBusLockStarvationSlowsVictim(t *testing.T) {
+	// A locking workload starves the victim of bus slots: the mechanism
+	// behind the paper's bus-locking attack.
+	m := newMachine(t, 100000)
+	victim := &fixedWorkload{name: "victim", perSec: 50000}
+	locker := &fixedWorkload{name: "locker", perSec: 1000, lock: 0.9, base: 1 << 30}
+	vvm, _ := m.AddVM("victim", victim)
+	m.AddVM("locker", locker)
+	if err := m.Run(10, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	// Victim wants 500 slots/tick; only ~100 (10% of 1000) are unlocked.
+	if ratio := vvm.Progress() / 10; ratio > 0.3 {
+		t.Fatalf("victim progress ratio %v under lock, want < 0.3", ratio)
+	}
+	stats, err := m.CacheStats(vvm.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses == 0 {
+		t.Fatal("victim performed no accesses at all")
+	}
+}
+
+func TestCacheStatsAttribution(t *testing.T) {
+	m := newMachine(t, 1e6)
+	w := &fixedWorkload{name: "app", perSec: 1000}
+	vm, _ := m.AddVM("v", w)
+	if err := m.Run(1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.CacheStats(vm.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != vm.Granted() {
+		t.Fatalf("cache accesses %d != granted %d", st.Accesses, vm.Granted())
+	}
+	if len(m.VMs()) != 1 {
+		t.Fatalf("VMs() = %d entries", len(m.VMs()))
+	}
+}
+
+func TestSchedulerConservationProperty(t *testing.T) {
+	// Property: across arbitrary pause/resume patterns, every VM's
+	// progress never exceeds elapsed virtual time and never decreases,
+	// and granted never exceeds demanded.
+	m := newMachine(t, 50000)
+	vms := make([]*VM, 3)
+	for i := range vms {
+		w := &fixedWorkload{name: "w", perSec: 30000, base: uint64(i) << 30}
+		vm, err := m.AddVM(w.name, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms[i] = vm
+	}
+	r := randx.New(70, 71)
+	prev := make([]float64, len(vms))
+	for step := 0; step < 400; step++ {
+		for _, vm := range vms {
+			if r.Bool(0.05) {
+				if r.Bool(0.5) {
+					if err := m.Pause(vm.ID()); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := m.Resume(vm.ID()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if err := m.Tick(0.01); err != nil {
+			t.Fatal(err)
+		}
+		for i, vm := range vms {
+			p := vm.Progress()
+			if p < prev[i]-1e-12 {
+				t.Fatalf("step %d: progress of %d decreased: %v → %v", step, i, prev[i], p)
+			}
+			if p > m.Now()+1e-9 {
+				t.Fatalf("step %d: progress %v exceeds elapsed %v", step, p, m.Now())
+			}
+			if vm.Granted() > vm.Demanded() {
+				t.Fatalf("granted %d exceeds demanded %d", vm.Granted(), vm.Demanded())
+			}
+			prev[i] = p
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Application names, matching the paper's measurement study (§3.1).
+const (
+	Bayes       = "bayes"       // HiBench Bayesian classification
+	SVM         = "svm"         // HiBench support vector machine
+	KMeans      = "kmeans"      // HiBench k-means clustering
+	PCA         = "pca"         // HiBench principal components analysis (periodic)
+	Aggregation = "aggregation" // Hive OLAP aggregation query
+	Join        = "join"        // Hive OLAP join query
+	Scan        = "scan"        // Hive OLAP scan query
+	TeraSort    = "terasort"    // Hadoop TeraSort (strongly phased)
+	PageRank    = "pagerank"    // HiBench web-search PageRank
+	FaceNet     = "facenet"     // TensorFlow FaceNet training (periodic)
+)
+
+// AppNames lists all modelled applications in the paper's presentation
+// order.
+func AppNames() []string {
+	return []string{
+		Bayes, SVM, KMeans, PCA, Aggregation, Join, Scan, TeraSort, PageRank, FaceNet,
+	}
+}
+
+// PeriodicApps lists the applications with periodic cache-access patterns.
+func PeriodicApps() []string { return []string{PCA, FaceNet} }
+
+// AppProfile returns the calibrated telemetry profile for a named
+// application. The MeanPhaseDur values are derived from the paper's
+// per-application KStest false-alarm rates (§3.2): a phase change within
+// the first ~22 s after a reference collection makes the KS baseline
+// reject for ≥4 consecutive checks, so a target rate r implies a mean
+// phase duration of roughly 22/r seconds. The periodic applications defeat
+// KStest through cycle-phase mismatch between reference and monitored
+// windows instead.
+func AppProfile(name string) (Profile, error) {
+	p, ok := appProfiles[name]
+	if !ok {
+		known := make([]string, 0, len(appProfiles))
+		for n := range appProfiles {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return Profile{}, fmt.Errorf("workload: unknown application %q (known: %v)", name, known)
+	}
+	return p, nil
+}
+
+// MustAppProfile is AppProfile for the compiled-in names; it panics on
+// unknown names and is intended for use with the App* constants.
+func MustAppProfile(name string) Profile {
+	p, err := AppProfile(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var appProfiles = map[string]Profile{
+	Bayes:       phasedProfile(Bayes, 2.0e5, 0.20, 0.12, 80 /* → ~30% KStest FP */, 0.15),
+	SVM:         phasedProfile(SVM, 1.8e5, 0.22, 0.15, 58 /* → ~35% */, 0.18),
+	KMeans:      phasedProfile(KMeans, 2.2e5, 0.18, 0.10, 150 /* → ~20% */, 0.10),
+	Aggregation: phasedProfile(Aggregation, 1.5e5, 0.20, 0.18, 62 /* → ~40% */, 0.16),
+	Join:        phasedProfile(Join, 1.6e5, 0.20, 0.20, 62 /* → ~40% */, 0.16),
+	Scan:        phasedProfile(Scan, 2.5e5, 0.18, 0.25, 70 /* → ~40% */, 0.15),
+	TeraSort:    phasedProfile(TeraSort, 3.0e5, 0.22, 0.22, 34 /* → >60% */, 0.22),
+	PageRank:    phasedProfile(PageRank, 2.0e5, 0.20, 0.15, 88 /* → ~30% */, 0.14),
+	PCA:         periodicProfile(PCA, 1.6e5, 0.07, 0.12, 6.0 /* s */, 0.13 /* → ~60% */, 0.50),
+	FaceNet:     periodicProfile(FaceNet, 1.7e5, 0.12, 0.14, 8.5 /* s → MA period 17 */, 0.12 /* → ~55% */, 0.55),
+}
+
+// phasedProfile assembles a non-periodic application profile.
+func phasedProfile(name string, base, cv, missRatio, meanPhaseDur, phaseDelta float64) Profile {
+	return Profile{
+		Name:                name,
+		BaseAccess:          base,
+		AccessCV:            cv,
+		MissRatio:           missRatio,
+		MissCV:              0.10,
+		PhaseDelta:          phaseDelta,
+		MeanPhaseDur:        meanPhaseDur,
+		BurstProb:           0.001,
+		BurstDur:            20,
+		BurstMag:            0.45,
+		BusLockDrop:         0.60,
+		CleanseMissGain:     missGainFor(missRatio),
+		OverheadSensitivity: 1,
+	}
+}
+
+// periodicProfile assembles a periodic application profile (PCA, FaceNet).
+func periodicProfile(name string, base, cv, missRatio, periodSec, amp, stretch float64) Profile {
+	return Profile{
+		Name:                name,
+		BaseAccess:          base,
+		AccessCV:            cv,
+		MissRatio:           missRatio,
+		MissCV:              0.10,
+		Periodic:            true,
+		PeriodSec:           periodSec,
+		PeriodAmp:           amp,
+		PeriodJitter:        0.09,
+		BurstProb:           0.001,
+		BurstDur:            20,
+		BurstMag:            0.55,
+		BusLockDrop:         0.60,
+		CleanseMissGain:     missGainFor(missRatio),
+		PeriodStretch:       stretch,
+		OverheadSensitivity: 1,
+	}
+}
+
+// missGainFor picks a cleansing miss-inflation factor that stays physical
+// (misses can never exceed accesses): ratio·(1+gain) ≤ 0.9.
+func missGainFor(missRatio float64) float64 {
+	gain := 0.9/missRatio - 1
+	if gain > 5 {
+		gain = 5
+	}
+	return gain
+}

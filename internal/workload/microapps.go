@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+)
+
+// MicroApp is a micro-architectural access-stream equivalent of one of the
+// modelled applications: instead of generating counter values statistically
+// (like Model), it issues actual cache accesses on the vmm machine, and the
+// same statistical signatures — base rate, miss ratio, execution phases,
+// periodic working-set cycles — emerge from the simulated hardware.
+//
+// MicroApps run at 1/10 of the telemetry models' time scale (phases of
+// seconds rather than minutes) so that measurement-study-sized microsim
+// runs stay cheap.
+type MicroApp struct {
+	name string
+	rng  *randx.Rand
+
+	baseRate float64 // demanded accesses per second
+	missFrac float64 // fraction of accesses sent to the streaming region
+
+	// Resident working set (hits once warm).
+	residentBase  uint64
+	residentLines int
+
+	// Streaming region (compulsory misses).
+	streamBase   uint64
+	streamCursor uint64
+
+	// Wall-time execution phases (the phased applications).
+	phaseDelta float64
+	meanDur    float64
+	now        float64
+	phaseHigh  bool
+	nextSwitch float64
+
+	// Work-based periodic cycle (PCA, FaceNet): the app alternates between
+	// two resident windows, advancing on completed work, so attacks stretch
+	// the cycle.
+	periodic bool
+	workPer  int
+	phaseIdx int
+	workLeft int
+}
+
+var _ vmm.Workload = (*MicroApp)(nil)
+
+// timeScale compresses the telemetry models' wall-clock dynamics for
+// microsim runs.
+const microTimeScale = 10.0
+
+// NewMicroApp builds the micro-architectural equivalent of the named
+// application. base is the byte address of the VM's address-space slice
+// (give each VM a disjoint region).
+func NewMicroApp(name string, base uint64, rng *randx.Rand) (*MicroApp, error) {
+	prof, err := AppProfile(name)
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: MicroApp %s: nil rng", name)
+	}
+	a := &MicroApp{
+		name: name,
+		rng:  rng,
+		// Scale the telemetry base (counts per 0.01 s) down to a microsim
+		// access rate the simulated bus can carry.
+		baseRate: prof.BaseAccess / 500 * 100, // e.g. 2e5 → 4e4 accesses/s
+		// At micro scale the streaming component models only the
+		// steady-state LLC misses (a few percent); most of the telemetry
+		// models' MissRatio is reuse pressure that the cleansing attack
+		// recreates by flushing the resident set.
+		missFrac:      0.02 + prof.MissRatio*0.2,
+		residentBase:  base,
+		residentLines: 1024, // 64 KiB resident set
+		streamBase:    base + 1<<30,
+		phaseDelta:    prof.PhaseDelta,
+		meanDur:       prof.MeanPhaseDur / microTimeScale,
+		periodic:      prof.Periodic,
+	}
+	if a.phaseDelta > 0 {
+		a.phaseHigh = rng.Bool(0.5)
+		a.nextSwitch = a.meanDur * rng.Uniform(0.5, 1.5)
+	}
+	if a.periodic {
+		// Work per half-cycle so that a full cycle lasts
+		// PeriodSec/microTimeScale seconds at the nominal hit rate. The
+		// compression is capped so even short-cycle apps (PCA) keep their
+		// micro cycle resolvable against the PCM sampling rate.
+		period := prof.PeriodSec / microTimeScale
+		if period < 0.85 {
+			period = 0.85
+		}
+		halfCycle := period / 2
+		a.workPer = int(a.baseRate * (1 - a.missFrac) * halfCycle)
+		if a.workPer < 1 {
+			a.workPer = 1
+		}
+		a.workLeft = a.workPer
+	}
+	return a, nil
+}
+
+// Name implements vmm.Workload.
+func (a *MicroApp) Name() string { return a.name }
+
+// Phase returns the periodic half-cycle index (diagnostics; 0 for
+// non-periodic apps).
+func (a *MicroApp) Phase() int { return a.phaseIdx }
+
+// Demand implements vmm.Workload.
+func (a *MicroApp) Demand(dt float64) (int, float64) {
+	a.now += dt
+	level := 1.0
+	if a.phaseDelta > 0 {
+		for a.now >= a.nextSwitch {
+			a.phaseHigh = !a.phaseHigh
+			a.nextSwitch += a.meanDur * a.rng.Uniform(0.5, 1.5)
+		}
+		if a.phaseHigh {
+			level += a.phaseDelta
+		} else {
+			level -= a.phaseDelta
+		}
+	}
+	return int(a.baseRate * level * dt * a.rng.Uniform(0.95, 1.05)), 0
+}
+
+// Issue implements vmm.Workload.
+func (a *MicroApp) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		if a.rng.Float64() < a.missFrac {
+			// Streaming access: fresh line, compulsory miss.
+			a.streamCursor += 64
+			c.Access(owner, a.streamBase+a.streamCursor)
+			continue
+		}
+		// Resident access; periodic apps work through alternating resident
+		// windows, so the cycle position advances with completed work.
+		base := a.residentBase
+		if a.periodic && a.phaseIdx%2 == 1 {
+			// The second half-cycle's window overlaps the first by half,
+			// as consecutive processing batches share code and metadata;
+			// the switch re-fetches only the non-shared half.
+			base += uint64(a.residentLines) / 2 * 64
+		}
+		line := uint64(a.rng.IntN(a.residentLines))
+		if c.Access(owner, base+line*64) && a.periodic {
+			a.workLeft--
+			if a.workLeft <= 0 {
+				a.phaseIdx++
+				a.workLeft = a.workPer
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/vmm"
+)
+
+// Loop is a micro-simulation workload that repeatedly accesses a fixed
+// working set at a fixed demand rate — the access-stream equivalent of a
+// steady application. Its addresses are drawn uniformly from the working
+// set, so its hit rate is governed by how much of the set survives in the
+// shared LLC.
+type Loop struct {
+	name string
+	rng  *randx.Rand
+
+	base   uint64 // base byte address of the working set
+	lines  int    // working-set size in cache lines
+	lineSz uint64
+	perSec float64 // demanded accesses per second
+}
+
+var _ vmm.Workload = (*Loop)(nil)
+
+// NewLoop returns a Loop named name over a working set of setBytes bytes
+// starting at base, demanding perSec accesses per second.
+func NewLoop(name string, base uint64, setBytes int, perSec float64, rng *randx.Rand) (*Loop, error) {
+	if setBytes < 64 || perSec <= 0 || rng == nil {
+		return nil, fmt.Errorf("workload: bad Loop parameters (setBytes=%d perSec=%v)", setBytes, perSec)
+	}
+	return &Loop{
+		name:   name,
+		rng:    rng,
+		base:   base,
+		lines:  setBytes / 64,
+		lineSz: 64,
+		perSec: perSec,
+	}, nil
+}
+
+// Name implements vmm.Workload.
+func (l *Loop) Name() string { return l.name }
+
+// Demand implements vmm.Workload.
+func (l *Loop) Demand(dt float64) (int, float64) {
+	return int(l.perSec * dt), 0
+}
+
+// Issue implements vmm.Workload.
+func (l *Loop) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		line := uint64(l.rng.IntN(l.lines))
+		c.Access(owner, l.base+line*l.lineSz)
+	}
+}
+
+// PhasedLoop cycles through execution phases, each defined by a working-set
+// window and an amount of *work* (cache hits) to complete. Because phase
+// progress is counted in completed work rather than wall time, any attack
+// that starves the workload of accesses (bus locking) or of hits (LLC
+// cleansing) stretches the wall-clock period of the cycle — the paper's
+// Observation 2, reproduced from first principles.
+type PhasedLoop struct {
+	name string
+	rng  *randx.Rand
+
+	base     uint64
+	lineSz   uint64
+	perSec   float64
+	phases   []LoopPhase
+	phaseIdx int
+	workLeft int
+}
+
+// LoopPhase is one phase of a PhasedLoop cycle.
+type LoopPhase struct {
+	// Lines is the phase's working-set size in cache lines.
+	Lines int
+	// Work is the number of cache hits needed to finish the phase.
+	Work int
+}
+
+var _ vmm.Workload = (*PhasedLoop)(nil)
+
+// NewPhasedLoop returns a PhasedLoop cycling through the given phases.
+func NewPhasedLoop(name string, base uint64, perSec float64, phases []LoopPhase, rng *randx.Rand) (*PhasedLoop, error) {
+	if len(phases) == 0 || perSec <= 0 || rng == nil {
+		return nil, fmt.Errorf("workload: bad PhasedLoop parameters")
+	}
+	for i, ph := range phases {
+		if ph.Lines <= 0 || ph.Work <= 0 {
+			return nil, fmt.Errorf("workload: PhasedLoop phase %d must have positive Lines and Work", i)
+		}
+	}
+	return &PhasedLoop{
+		name:     name,
+		rng:      rng,
+		base:     base,
+		lineSz:   64,
+		perSec:   perSec,
+		phases:   phases,
+		workLeft: phases[0].Work,
+	}, nil
+}
+
+// Name implements vmm.Workload.
+func (p *PhasedLoop) Name() string { return p.name }
+
+// Phase returns the index of the current phase (for tests).
+func (p *PhasedLoop) Phase() int { return p.phaseIdx }
+
+// Demand implements vmm.Workload. The demand carries ±10% per-tick jitter:
+// real applications do not issue perfectly metronomic access streams, and
+// the variance keeps profiled counter bounds non-degenerate.
+func (p *PhasedLoop) Demand(dt float64) (int, float64) {
+	return int(p.perSec * dt * p.rng.Uniform(0.9, 1.1)), 0
+}
+
+// Issue implements vmm.Workload.
+func (p *PhasedLoop) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		ph := p.phases[p.phaseIdx]
+		line := uint64(p.rng.IntN(ph.Lines))
+		// Each phase works in its own address window so that phase
+		// transitions shift the cache footprint.
+		addr := p.base + uint64(p.phaseIdx)<<28 + line*p.lineSz
+		if c.Access(owner, addr) {
+			p.workLeft--
+			if p.workLeft <= 0 {
+				p.phaseIdx = (p.phaseIdx + 1) % len(p.phases)
+				p.workLeft = p.phases[p.phaseIdx].Work
+			}
+		}
+	}
+}
+
+// Idle is a workload with no memory demand (a benign VM running light
+// utilities like sysstat/dstat, per the paper's testbed).
+type Idle struct {
+	name   string
+	rng    *randx.Rand
+	perSec float64
+}
+
+var _ vmm.Workload = (*Idle)(nil)
+
+// NewIdle returns a near-idle workload issuing perSec scattered accesses per
+// second (may be zero).
+func NewIdle(name string, perSec float64, rng *randx.Rand) (*Idle, error) {
+	if perSec < 0 || rng == nil {
+		return nil, fmt.Errorf("workload: bad Idle parameters")
+	}
+	return &Idle{name: name, rng: rng, perSec: perSec}, nil
+}
+
+// Name implements vmm.Workload.
+func (u *Idle) Name() string { return u.name }
+
+// Demand implements vmm.Workload.
+func (u *Idle) Demand(dt float64) (int, float64) {
+	return int(u.perSec * dt), 0
+}
+
+// Issue implements vmm.Workload.
+func (u *Idle) Issue(granted int, c *cachesim.Cache, owner cachesim.Owner) {
+	for i := 0; i < granted; i++ {
+		c.Access(owner, uint64(u.rng.IntN(1<<26))*64)
+	}
+}

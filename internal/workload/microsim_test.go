@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/cachesim"
+	"github.com/memdos/sds/internal/randx"
+)
+
+func testCache(t *testing.T) *cachesim.Cache {
+	t.Helper()
+	c, err := cachesim.New(cachesim.Config{SizeBytes: 256 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoopValidation(t *testing.T) {
+	rng := randx.New(1, 2)
+	if _, err := NewLoop("x", 0, 32, 100, rng); err == nil {
+		t.Error("tiny working set accepted")
+	}
+	if _, err := NewLoop("x", 0, 4096, 0, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewLoop("x", 0, 4096, 100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLoopDemandProportionalToDt(t *testing.T) {
+	l, err := NewLoop("app", 0, 64*1024, 10000, randx.New(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, lock := l.Demand(0.01); got != 100 || lock != 0 {
+		t.Fatalf("Demand(0.01) = (%d, %v), want (100, 0)", got, lock)
+	}
+}
+
+func TestLoopCacheResidency(t *testing.T) {
+	// A working set that fits should mostly hit after warm-up.
+	c := testCache(t)
+	l, err := NewLoop("app", 0, 64*1024, 10000, randx.New(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Issue(20000, c, 0)
+	warm := c.Stats(0)
+	l.Issue(10000, c, 0)
+	st := c.Stats(0)
+	missRate := float64(st.Misses-warm.Misses) / float64(st.Accesses-warm.Accesses)
+	if missRate > 0.02 {
+		t.Fatalf("steady-state miss rate %v, want ~0", missRate)
+	}
+}
+
+func TestPhasedLoopValidation(t *testing.T) {
+	rng := randx.New(7, 8)
+	if _, err := NewPhasedLoop("x", 0, 100, nil, rng); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := NewPhasedLoop("x", 0, 100, []LoopPhase{{Lines: 0, Work: 5}}, rng); err == nil {
+		t.Error("zero-line phase accepted")
+	}
+}
+
+func TestPhasedLoopAdvancesByWork(t *testing.T) {
+	c := testCache(t)
+	p, err := NewPhasedLoop("periodic", 0, 10000, []LoopPhase{
+		{Lines: 100, Work: 500},
+		{Lines: 200, Work: 500},
+	}, randx.New(9, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Phase() != 0 {
+		t.Fatal("did not start in phase 0")
+	}
+	// Issue enough accesses to accumulate 500 hits.
+	for i := 0; i < 50 && p.Phase() == 0; i++ {
+		p.Issue(100, c, 0)
+	}
+	if p.Phase() != 1 {
+		t.Fatalf("phase = %d after plenty of work, want 1", p.Phase())
+	}
+}
+
+func TestPhasedLoopStallsWithoutAccesses(t *testing.T) {
+	c := testCache(t)
+	p, err := NewPhasedLoop("periodic", 0, 10000, []LoopPhase{
+		{Lines: 100, Work: 100},
+		{Lines: 100, Work: 100},
+	}, randx.New(11, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Issue(0, c, 0) // starved: no accesses granted
+	if p.Phase() != 0 {
+		t.Fatal("phase advanced without any accesses")
+	}
+}
+
+func TestIdleWorkload(t *testing.T) {
+	c := testCache(t)
+	u, err := NewIdle("utility", 100, randx.New(13, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, lock := u.Demand(0.01); d != 1 || lock != 0 {
+		t.Fatalf("Demand = (%d, %v), want (1, 0)", d, lock)
+	}
+	u.Issue(10, c, 3)
+	if got := c.Stats(3).Accesses; got != 10 {
+		t.Fatalf("accesses = %d, want 10", got)
+	}
+	if _, err := NewIdle("x", -1, randx.New(1, 1)); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

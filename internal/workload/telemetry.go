@@ -1,0 +1,271 @@
+// Package workload models the cloud applications of the paper's measurement
+// study (§3). It provides two substrates:
+//
+//   - Telemetry models (this file, profiles in apps.go): calibrated
+//     stochastic generators of per-T_PCM (AccessNum, MissNum) counter
+//     samples — the input every detector consumes. These reproduce the
+//     statistical signatures the paper measured: non-stationary phase
+//     shifts (which defeat the KStest baseline), periodic cache-access
+//     patterns (PCA, FaceNet), and each attack's counter response.
+//   - Micro-architectural workloads (microsim.go): access-stream programs
+//     that run on the cachesim/membus/vmm machine and exhibit the same
+//     behaviours from first principles.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// Env describes the contention environment a VM experiences at an instant of
+// virtual time. Attack intensities ramp from 0 (inactive) to 1 (full effect)
+// as the attacker finishes probing and spins up.
+type Env struct {
+	// BusLock is the intensity of an atomic bus-locking attack (0..1).
+	BusLock float64
+	// Cleanse is the intensity of an LLC-cleansing attack (0..1).
+	Cleanse float64
+	// Quiesced reports that all co-located VMs are paused (KStest
+	// reference collection): background contention vanishes.
+	Quiesced bool
+}
+
+// Profile is the calibrated statistical signature of one application.
+// See apps.go for the per-application values and their derivation.
+type Profile struct {
+	// Name is the application name (lower case, e.g. "terasort").
+	Name string
+
+	// BaseAccess is the mean AccessNum per T_PCM sample (arbitrary units).
+	BaseAccess float64
+	// AccessCV is the within-phase coefficient of variation of AccessNum.
+	AccessCV float64
+	// MissRatio is the base MissNum/AccessNum ratio.
+	MissRatio float64
+	// MissCV is the extra multiplicative noise on MissNum.
+	MissCV float64
+
+	// PhaseDelta is the fractional offset of the two execution-phase
+	// levels: the application alternates between (1−δ) and (1+δ) times
+	// its base level. Zero for stationary or purely periodic applications.
+	PhaseDelta float64
+	// MeanPhaseDur is the mean phase duration in seconds (exponentially
+	// distributed). This is the knob that calibrates the application's
+	// KStest false-alarm rate (§3.2 of the paper).
+	MeanPhaseDur float64
+
+	// Periodic marks applications with repeating cache-access patterns
+	// (PCA, FaceNet in the paper).
+	Periodic bool
+	// PeriodSec is the cycle length in seconds of the periodic component.
+	PeriodSec float64
+	// PeriodAmp is the peak amplitude of the cycle relative to BaseAccess.
+	PeriodAmp float64
+	// PeriodJitter is the stationary standard deviation, in cycles, of the
+	// mean-reverting phase noise on the periodic component (batches are
+	// not perfectly uniform). It keeps the cycle from locking into
+	// resonance with the KStest check interval without diffusing the
+	// long-run spectrum, and stays well inside SDS/P's 20% deviation
+	// tolerance.
+	PeriodJitter float64
+
+	// BurstProb is the per-second probability of a rare out-of-profile
+	// burst (the residual behaviour that keeps SDS specificity below 100%).
+	BurstProb float64
+	// BurstDur is the burst duration in seconds.
+	BurstDur float64
+	// BurstMag is the burst magnitude relative to BaseAccess (±).
+	BurstMag float64
+
+	// BusLockDrop is the fraction of AccessNum suppressed by a bus-locking
+	// attack at full intensity (Observation 1 of the paper).
+	BusLockDrop float64
+	// CleanseMissGain is the multiplicative inflation added to MissNum by
+	// a cleansing attack at full intensity: miss → miss·(1+gain).
+	CleanseMissGain float64
+	// PeriodStretch is the fractional period increase under either attack
+	// at full intensity (Observation 2; periodic applications only).
+	PeriodStretch float64
+
+	// OverheadSensitivity scales how strongly detector monitoring cost
+	// slows this application (1 = average).
+	OverheadSensitivity float64
+}
+
+// Validate reports configuration errors in a profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case p.BaseAccess <= 0:
+		return fmt.Errorf("workload: %s: BaseAccess must be positive", p.Name)
+	case p.AccessCV < 0 || p.MissCV < 0:
+		return fmt.Errorf("workload: %s: CVs must be non-negative", p.Name)
+	case p.MissRatio <= 0 || p.MissRatio > 1:
+		return fmt.Errorf("workload: %s: MissRatio must be in (0,1]", p.Name)
+	case p.PhaseDelta < 0 || p.PhaseDelta >= 1:
+		return fmt.Errorf("workload: %s: PhaseDelta must be in [0,1)", p.Name)
+	case p.PhaseDelta > 0 && p.MeanPhaseDur <= 0:
+		return fmt.Errorf("workload: %s: phased profile needs MeanPhaseDur", p.Name)
+	case p.Periodic && (p.PeriodSec <= 0 || p.PeriodAmp <= 0):
+		return fmt.Errorf("workload: %s: periodic profile needs PeriodSec and PeriodAmp", p.Name)
+	case p.BusLockDrop < 0 || p.BusLockDrop >= 1:
+		return fmt.Errorf("workload: %s: BusLockDrop must be in [0,1)", p.Name)
+	case p.CleanseMissGain < 0:
+		return fmt.Errorf("workload: %s: CleanseMissGain must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// Model is a running telemetry generator for one application instance. It
+// is deterministic given its Profile and random stream, and not safe for
+// concurrent use.
+type Model struct {
+	prof Profile
+	rng  *randx.Rand
+
+	t          float64
+	phaseHigh  bool
+	phaseUntil float64
+	burstUntil float64
+	burstSign  float64
+	cyclePos   float64 // ideal position within the periodic cycle
+	phaseNoise float64 // OU phase offset, in cycles
+}
+
+// NewModel returns a telemetry model for the profile, drawing randomness
+// from rng.
+func NewModel(prof Profile, rng *randx.Rand) (*Model, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: %s: nil rng", prof.Name)
+	}
+	m := &Model{prof: prof, rng: rng}
+	if prof.PhaseDelta > 0 {
+		m.phaseHigh = rng.Bool(0.5)
+		m.phaseUntil = m.phaseDuration()
+	}
+	if prof.Periodic {
+		m.cyclePos = rng.Float64()
+		if prof.PeriodJitter > 0 {
+			m.phaseNoise = rng.Normal(0, prof.PeriodJitter)
+		}
+	}
+	return m, nil
+}
+
+// Profile returns the model's profile.
+func (m *Model) Profile() Profile { return m.prof }
+
+// phaseDuration draws the next phase length: bounded around the mean
+// (uniform in [0.6, 1.4]·mean) so that a Stage-1 profile of a few phase
+// cycles reliably sees both levels with a near-even mix, while the renewal
+// rate still calibrates the KStest false-alarm probability
+// (P(switch within w seconds) ≈ w/mean for w ≪ mean).
+func (m *Model) phaseDuration() float64 {
+	return m.prof.MeanPhaseDur * m.rng.Uniform(0.5, 1.5)
+}
+
+// Now returns the model's current virtual time.
+func (m *Model) Now() float64 { return m.t }
+
+// Sample advances virtual time by dt seconds under the given environment and
+// returns the (AccessNum, MissNum) counters a PCM tool would report for that
+// interval.
+func (m *Model) Sample(dt float64, env Env) (access, miss float64) {
+	p := &m.prof
+	m.t += dt
+
+	// Execution phases: two symmetric levels (1±δ). Symmetry keeps the
+	// extreme levels within the Chebyshev band k·σ of a long profile while
+	// still shifting the distribution enough for a KS test to reject.
+	level := 1.0
+	if p.PhaseDelta > 0 {
+		for m.t >= m.phaseUntil {
+			m.phaseHigh = !m.phaseHigh
+			m.phaseUntil += m.phaseDuration()
+		}
+		if m.phaseHigh {
+			level += p.PhaseDelta
+		} else {
+			level -= p.PhaseDelta
+		}
+	}
+
+	// Periodic component: the cycle advances in *work* terms, so attacks
+	// that slow the application stretch the observed period
+	// (Observation 2). An asymmetric two-harmonic waveform mimics the
+	// batch-processing ramps of PCA/FaceNet.
+	wave := 0.0
+	if p.Periodic {
+		intensity := math.Max(env.BusLock, env.Cleanse)
+		period := p.PeriodSec * (1 + p.PeriodStretch*intensity)
+		m.cyclePos += dt / period
+		m.cyclePos -= math.Floor(m.cyclePos)
+		if p.PeriodJitter > 0 {
+			// Ornstein–Uhlenbeck phase noise with a ~10 s relaxation time:
+			// bounded cycle-to-cycle desynchronization, sharp spectrum.
+			const tau = 10.0
+			decay := math.Exp(-dt / tau)
+			m.phaseNoise = m.phaseNoise*decay +
+				m.rng.Normal(0, p.PeriodJitter*math.Sqrt(1-decay*decay))
+		}
+		pos := m.cyclePos + m.phaseNoise
+		pos -= math.Floor(pos)
+		angle := 2 * math.Pi * pos
+		wave = p.PeriodAmp * (0.8*math.Sin(angle) + 0.2*math.Sin(2*angle+1))
+	}
+
+	// Rare out-of-profile bursts.
+	burst := 0.0
+	if p.BurstProb > 0 {
+		if m.t >= m.burstUntil && m.rng.Bool(p.BurstProb*dt) {
+			m.burstUntil = m.t + p.BurstDur
+			m.burstSign = 1
+			if m.rng.Bool(0.5) {
+				m.burstSign = -1
+			}
+		}
+		if m.t < m.burstUntil {
+			burst = m.burstSign * p.BurstMag
+		}
+	}
+
+	access = p.BaseAccess * (level + wave + burst) * m.rng.NoiseFactor(p.AccessCV)
+	if env.Quiesced {
+		// Background contention from the lightly-loaded co-located VMs
+		// disappears while they are throttled. The effect is small —
+		// benign neighbours run near-idle utilities — and in particular
+		// small enough that it does not by itself separate reference from
+		// monitored distributions.
+		access *= 1.005
+	}
+
+	// Bus locking starves the VM of bus slots: AccessNum collapses
+	// (Observation 1, bus-lock half).
+	if env.BusLock > 0 {
+		access *= 1 - p.BusLockDrop*env.BusLock
+	}
+	if access < 0 {
+		access = 0
+	}
+
+	missRatio := p.MissRatio
+	if env.Quiesced {
+		missRatio *= 0.995
+	}
+	miss = access * missRatio * m.rng.NoiseFactor(p.MissCV)
+	// Cleansing evicts the VM's lines: MissNum inflates (Observation 1,
+	// cleansing half) while AccessNum is largely unaffected.
+	if env.Cleanse > 0 {
+		miss *= 1 + p.CleanseMissGain*env.Cleanse
+	}
+	if miss > access {
+		miss = access
+	}
+	return access, miss
+}

@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/signal"
+	"github.com/memdos/sds/internal/timeseries"
+)
+
+const tpcm = 0.01
+
+func mustModel(t *testing.T, name string, seed uint64) *Model {
+	t.Helper()
+	m, err := NewModel(MustAppProfile(name), randx.Derive(seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// collect draws n samples under a fixed environment.
+func collect(m *Model, n int, env Env) (access, miss []float64) {
+	access = make([]float64, n)
+	miss = make([]float64, n)
+	for i := 0; i < n; i++ {
+		access[i], miss[i] = m.Sample(tpcm, env)
+	}
+	return access, miss
+}
+
+func TestAllAppProfilesValid(t *testing.T) {
+	for _, name := range AppNames() {
+		p, err := AppProfile(name)
+		if err != nil {
+			t.Fatalf("AppProfile(%s): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+		if p.MissRatio*(1+p.CleanseMissGain) > 1 {
+			t.Errorf("profile %s: cleansing would push misses above accesses", name)
+		}
+	}
+	if _, err := AppProfile("nonexistent"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestMustAppProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppProfile did not panic on unknown name")
+		}
+	}()
+	MustAppProfile("nope")
+}
+
+func TestProfileValidate(t *testing.T) {
+	base := MustAppProfile(KMeans)
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"empty name", func(p *Profile) { p.Name = "" }},
+		{"zero base", func(p *Profile) { p.BaseAccess = 0 }},
+		{"negative cv", func(p *Profile) { p.AccessCV = -1 }},
+		{"bad miss ratio", func(p *Profile) { p.MissRatio = 1.5 }},
+		{"phase without duration", func(p *Profile) { p.PhaseDelta = 0.2; p.MeanPhaseDur = 0 }},
+		{"periodic without period", func(p *Profile) { p.Periodic = true; p.PeriodSec = 0 }},
+		{"bus drop too large", func(p *Profile) { p.BusLockDrop = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("invalid profile accepted")
+			}
+		})
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(Profile{}, randx.New(1, 2)); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := NewModel(MustAppProfile(Bayes), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	a := mustModel(t, TeraSort, 7)
+	b := mustModel(t, TeraSort, 7)
+	for i := 0; i < 1000; i++ {
+		aa, am := a.Sample(tpcm, Env{})
+		ba, bm := b.Sample(tpcm, Env{})
+		if aa != ba || am != bm {
+			t.Fatalf("sample %d diverged", i)
+		}
+	}
+}
+
+func TestModelBaselineLevels(t *testing.T) {
+	for _, name := range AppNames() {
+		m := mustModel(t, name, 11)
+		access, miss := collect(m, 30000, Env{}) // 300 s
+		p := m.Profile()
+		meanA := timeseries.Mean(access)
+		if math.Abs(meanA-p.BaseAccess) > 0.12*p.BaseAccess {
+			t.Errorf("%s: mean access %v, want within 12%% of %v", name, meanA, p.BaseAccess)
+		}
+		ratio := timeseries.Mean(miss) / meanA
+		if math.Abs(ratio-p.MissRatio) > 0.3*p.MissRatio {
+			t.Errorf("%s: miss ratio %v, want ~%v", name, ratio, p.MissRatio)
+		}
+		for i := range access {
+			if access[i] < 0 || miss[i] < 0 || miss[i] > access[i] {
+				t.Fatalf("%s: sample %d violates 0 ≤ miss ≤ access: %v %v", name, i, access[i], miss[i])
+			}
+		}
+	}
+}
+
+func TestBusLockDropsAccess(t *testing.T) {
+	// Observation 1 (bus-lock half): AccessNum collapses under attack.
+	// Long windows (300 s each) average over the apps' execution phases.
+	for _, name := range AppNames() {
+		m := mustModel(t, name, 13)
+		normalA, _ := collect(m, 30000, Env{})
+		attackA, _ := collect(m, 30000, Env{BusLock: 1})
+		drop := 1 - timeseries.Mean(attackA)/timeseries.Mean(normalA)
+		want := m.Profile().BusLockDrop
+		if math.Abs(drop-want) > 0.12 {
+			t.Errorf("%s: access drop %v, want ~%v", name, drop, want)
+		}
+	}
+}
+
+func TestCleansingInflatesMisses(t *testing.T) {
+	// Observation 1 (cleansing half): MissNum rises; AccessNum roughly flat.
+	for _, name := range AppNames() {
+		m := mustModel(t, name, 17)
+		normalA, normalM := collect(m, 30000, Env{})
+		attackA, attackM := collect(m, 30000, Env{Cleanse: 1})
+		gain := timeseries.Mean(attackM) / timeseries.Mean(normalM)
+		if gain < 2 {
+			t.Errorf("%s: miss inflation %vx, want ≥ 2x", name, gain)
+		}
+		accessShift := math.Abs(timeseries.Mean(attackA)/timeseries.Mean(normalA) - 1)
+		if accessShift > 0.15 {
+			t.Errorf("%s: cleansing moved accesses by %v, want ≲ 0.15", name, accessShift)
+		}
+	}
+}
+
+func TestPeriodicModelsHaveDetectablePeriod(t *testing.T) {
+	for _, name := range PeriodicApps() {
+		m := mustModel(t, name, 19)
+		access, _ := collect(m, 12000, Env{}) // 120 s
+		ma, err := timeseries.MovingAverage(access, 200, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected MA-series period: PeriodSec / (ΔW·T_PCM).
+		want := m.Profile().PeriodSec / (50 * tpcm)
+		got, ok := maPeriod(ma)
+		if !ok {
+			t.Fatalf("%s: no period found in MA series", name)
+		}
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("%s: MA period %v, want ~%v", name, got, want)
+		}
+	}
+}
+
+func TestAttackStretchesPeriod(t *testing.T) {
+	// Observation 2: the periodic pattern's period grows under attack.
+	for _, name := range PeriodicApps() {
+		for _, env := range []Env{{BusLock: 1}, {Cleanse: 1}} {
+			m := mustModel(t, name, 23)
+			normalA, _ := collect(m, 12000, Env{})
+			attackA, _ := collect(m, 12000, env)
+			maN, _ := timeseries.MovingAverage(normalA, 200, 50)
+			maA, _ := timeseries.MovingAverage(attackA, 200, 50)
+			pn, okN := maPeriod(maN)
+			pa, okA := maPeriod(maA)
+			if !okN || !okA {
+				t.Fatalf("%s: period detection failed (normal %v attack %v)", name, okN, okA)
+			}
+			stretch := pa/pn - 1
+			want := m.Profile().PeriodStretch
+			if stretch < want*0.6 {
+				t.Errorf("%s under %+v: stretch %v, want ≥ %v", name, env, stretch, want*0.6)
+			}
+		}
+	}
+}
+
+func TestNonPeriodicAppsHaveNoPeriod(t *testing.T) {
+	misdetected := 0
+	for _, name := range []string{Bayes, KMeans, Scan} {
+		m := mustModel(t, name, 29)
+		access, _ := collect(m, 12000, Env{})
+		ma, _ := timeseries.MovingAverage(access, 200, 50)
+		if _, ok := maPeriod(ma); ok {
+			misdetected++
+		}
+	}
+	if misdetected > 1 {
+		t.Fatalf("found periods in %d/3 non-periodic apps", misdetected)
+	}
+}
+
+func TestQuiescedEffectSmall(t *testing.T) {
+	// A stationary profile isolates the quiescing effect from phase drift.
+	prof := MustAppProfile(KMeans)
+	prof.PhaseDelta = 0
+	prof.MeanPhaseDur = 0
+	prof.BurstProb = 0
+	m, err := NewModel(prof, randx.Derive(31, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalA, normalM := collect(m, 5000, Env{})
+	quietA, quietM := collect(m, 5000, Env{Quiesced: true})
+	shift := timeseries.Mean(quietA)/timeseries.Mean(normalA) - 1
+	if shift < 0 || shift > 0.05 {
+		t.Fatalf("quiesced access shift %v, want small positive", shift)
+	}
+	ratioShift := timeseries.Mean(quietM)/timeseries.Mean(quietA) -
+		timeseries.Mean(normalM)/timeseries.Mean(normalA)
+	if ratioShift >= 0 {
+		t.Fatalf("quiesced miss-ratio shift %v, want slightly negative", ratioShift)
+	}
+}
+
+func TestSampleInvariantProperty(t *testing.T) {
+	m := mustModel(t, TeraSort, 37)
+	f := func(busRaw, cleanseRaw uint8) bool {
+		env := Env{
+			BusLock: float64(busRaw) / 255,
+			Cleanse: float64(cleanseRaw) / 255,
+		}
+		a, miss := m.Sample(tpcm, env)
+		return a >= 0 && miss >= 0 && miss <= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// maPeriod estimates the dominant period of an MA series with the same
+// DFT–ACF machinery SDS/P uses.
+func maPeriod(ma []float64) (float64, bool) {
+	est, ok := signal.EstimatePeriod(ma, signal.PeriodOptions{})
+	return float64(est.Period), ok
+}
