@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench cover verify repro clean
+.PHONY: all build test race vet bench cover verify repro clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 test:
 	$(GO) test ./...
 
+# Run the test suite under the race detector (the experiment engine fans
+# detection runs out over a worker pool; this keeps it provably race-free).
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -26,10 +31,12 @@ verify:
 	$(GO) run ./cmd/report
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+# evaluate and sensitivity fan their run grids out over all CPUs by default
+# (-parallel 0); results are bit-identical at any worker count.
 repro:
 	$(GO) run ./cmd/measure -all -intervals 20
-	$(GO) run ./cmd/evaluate -all -runs 20
-	$(GO) run ./cmd/sensitivity -all -runs 10
+	$(GO) run ./cmd/evaluate -all -runs 20 -parallel 0
+	$(GO) run ./cmd/sensitivity -all -runs 10 -parallel 0
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

@@ -66,7 +66,7 @@ func runRecord(app string, seconds, attackAt float64, seed uint64) error {
 	}
 	w := feed.NewWriter(os.Stdout)
 	cfg := sds.DefaultConfig()
-	n := int(seconds / cfg.TPCM)
+	n := sds.SampleCount(seconds, cfg.TPCM)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * cfg.TPCM
 		a, m := model.Sample(cfg.TPCM, sched.Env(now, false))

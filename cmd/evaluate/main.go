@@ -20,37 +20,40 @@ import (
 
 	"github.com/memdos/sds/internal/attack"
 	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/metrics"
 	"github.com/memdos/sds/internal/workload"
 )
 
 func main() {
 	var (
-		fig9   = flag.Bool("fig9", false, "recall results")
-		fig10  = flag.Bool("fig10", false, "specificity results")
-		fig11  = flag.Bool("fig11", false, "detection delay results")
-		fig12  = flag.Bool("fig12", false, "performance overhead results")
-		table1 = flag.Bool("table1", false, "print the SDS parameters (Table 1)")
-		ablate = flag.Bool("ablation", false, "DFT-only vs ACF-only vs DFT-ACF period estimation (§4.2.2 motivation)")
-		all    = flag.Bool("all", false, "run the full evaluation")
-		runs   = flag.Int("runs", 20, "runs per cell")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		apps   = flag.String("apps", "", "comma-separated application subset (default: all)")
+		fig9     = flag.Bool("fig9", false, "recall results")
+		fig10    = flag.Bool("fig10", false, "specificity results")
+		fig11    = flag.Bool("fig11", false, "detection delay results")
+		fig12    = flag.Bool("fig12", false, "performance overhead results")
+		table1   = flag.Bool("table1", false, "print the SDS parameters (Table 1)")
+		ablate   = flag.Bool("ablation", false, "DFT-only vs ACF-only vs DFT-ACF period estimation (§4.2.2 motivation)")
+		all      = flag.Bool("all", false, "run the full evaluation")
+		runs     = flag.Int("runs", 20, "runs per cell")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: all)")
+		parallel = flag.Int("parallel", 0, "concurrent detection runs (0 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
 	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps); err != nil {
+	if err := run(*fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string) error {
+func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string, parallel int) error {
 	cfg := experiment.DefaultConfig()
 	cfg.Runs = runs
 	cfg.Seed = seed
+	cfg.Parallel = parallel
 
 	var apps []string
 	if appsFlag != "" {
@@ -77,20 +80,26 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 		}
 		if fig9 {
 			renderAccuracy("Fig. 9 — recall (%), median [p10, p90] over runs; paper: medians 100% everywhere",
-				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
-					return c.Recall.Median, c.Recall.P10, c.Recall.P90
+				cells, func(c experiment.AccuracyCell) string {
+					return distCell(c.Recall)
 				})
 		}
 		if fig10 {
 			renderAccuracy("Fig. 10 — specificity (%); paper: SDS 90–100, KStest 30–80, SDS/B 94–97, SDS/P 93–94",
-				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
-					return c.Specificity.Median, c.Specificity.P10, c.Specificity.P90
+				cells, func(c experiment.AccuracyCell) string {
+					return distCell(c.Specificity)
 				})
 		}
 		if fig11 {
 			renderAccuracy("Fig. 11 — detection delay (s); paper: SDS 15–30, KStest 20–50",
-				cells, func(c experiment.AccuracyCell) (float64, float64, float64) {
-					return c.Delay.Median, c.Delay.P10, c.Delay.P90
+				cells, func(c experiment.AccuracyCell) string {
+					// No run had an alarm onset during the attack: there is
+					// no delay distribution to summarize, and printing its
+					// zero value would read as instant detection.
+					if c.Delay.N == 0 {
+						return fmt.Sprintf("n/a (detection rate %.0f%%)", 100*c.DetectionRate)
+					}
+					return distCell(c.Delay)
 				})
 		}
 	}
@@ -116,7 +125,11 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 	return nil
 }
 
-func renderAccuracy(title string, cells []experiment.AccuracyCell, pick func(experiment.AccuracyCell) (med, p10, p90 float64)) {
+func distCell(d metrics.Distribution) string {
+	return fmt.Sprintf("%.1f [%.1f, %.1f]", d.Median, d.P10, d.P90)
+}
+
+func renderAccuracy(title string, cells []experiment.AccuracyCell, format func(experiment.AccuracyCell) string) {
 	for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
 		tb := experiment.Table{
 			Title:  fmt.Sprintf("%s — %s attack", title, kind),
@@ -126,8 +139,7 @@ func renderAccuracy(title string, cells []experiment.AccuracyCell, pick func(exp
 			if c.Attack != kind {
 				continue
 			}
-			med, p10, p90 := pick(c)
-			tb.AddRow(c.App, string(c.Scheme), fmt.Sprintf("%.1f [%.1f, %.1f]", med, p10, p90))
+			tb.AddRow(c.App, string(c.Scheme), format(c))
 		}
 		if err := tb.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "render:", err)

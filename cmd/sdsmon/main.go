@@ -81,7 +81,7 @@ func run(app, kindName string, attackAt, duration float64, schemeName string, se
 	}
 
 	tpcm := cfg.Detect.TPCM
-	n := int(duration / tpcm)
+	n := pcm.SampleCount(duration, tpcm)
 	wasAlarmed := false
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm

@@ -31,15 +31,16 @@ type sweep struct {
 
 func main() {
 	var (
-		alpha = flag.Bool("alpha", false, "Fig. 13: EWMA smoothing factor")
-		k     = flag.Bool("k", false, "Fig. 14: boundary factor k")
-		w     = flag.Bool("w", false, "Fig. 15: MA window size W")
-		dw    = flag.Bool("dw", false, "Fig. 16: MA sliding step ΔW")
-		wp    = flag.Bool("wp", false, "Fig. 17: SDS/P window W_P")
-		dwp   = flag.Bool("dwp", false, "Fig. 18: SDS/P sliding step ΔW_P")
-		all   = flag.Bool("all", false, "every sweep")
-		runs  = flag.Int("runs", 10, "runs per point (per attack)")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
+		alpha    = flag.Bool("alpha", false, "Fig. 13: EWMA smoothing factor")
+		k        = flag.Bool("k", false, "Fig. 14: boundary factor k")
+		w        = flag.Bool("w", false, "Fig. 15: MA window size W")
+		dw       = flag.Bool("dw", false, "Fig. 16: MA sliding step ΔW")
+		wp       = flag.Bool("wp", false, "Fig. 17: SDS/P window W_P")
+		dwp      = flag.Bool("dwp", false, "Fig. 18: SDS/P sliding step ΔW_P")
+		all      = flag.Bool("all", false, "every sweep")
+		runs     = flag.Int("runs", 10, "runs per point (per attack)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		parallel = flag.Int("parallel", 0, "concurrent detection runs (0 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
 	if !(*alpha || *k || *w || *dw || *wp || *dwp || *all) {
@@ -50,6 +51,7 @@ func main() {
 	cfg := experiment.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 
 	sweeps := []struct {
 		enabled bool
@@ -96,11 +98,17 @@ func runSweep(cfg experiment.Config, s sweep) error {
 		Header: []string{s.name, "recall %", "specificity %", "delay s"},
 	}
 	for _, p := range points {
+		// An empty delay distribution (no run had an alarm onset during
+		// the attack) renders as n/a, not as misleading zeros.
+		delay := "n/a"
+		if p.Delay.N > 0 {
+			delay = fmt.Sprintf("%.1f [%.1f, %.1f]", p.Delay.Median, p.Delay.P10, p.Delay.P90)
+		}
 		tb.AddRow(
 			fmt.Sprintf("%g", p.Value),
 			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Recall.Median, p.Recall.P10, p.Recall.P90),
 			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Specificity.Median, p.Specificity.P10, p.Specificity.P90),
-			fmt.Sprintf("%.1f [%.1f, %.1f]", p.Delay.Median, p.Delay.P10, p.Delay.P90),
+			delay,
 		)
 	}
 	if err := tb.Render(os.Stdout); err != nil {

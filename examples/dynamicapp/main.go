@@ -45,7 +45,7 @@ func run() error {
 
 	now := 0.0
 	feed := func(seconds float64, attack sds.AttackSchedule) {
-		n := int(seconds / cfg.TPCM)
+		n := sds.SampleCount(seconds, cfg.TPCM)
 		for i := 0; i < n; i++ {
 			now += cfg.TPCM
 			a, m := app.Sample(cfg.TPCM, attack.Env(now, false))

@@ -153,7 +153,7 @@ func NewKSTest(cfg KSTestConfig, throttler Throttler, opts ...KSTestOption) (*KS
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	winLen := int(cfg.WM / cfg.TPCM)
+	winLen := pcm.SampleCount(cfg.WM, cfg.TPCM)
 	if winLen < 2 {
 		return nil, fmt.Errorf("detect: KStest monitored window holds %d samples; need ≥ 2", winLen)
 	}

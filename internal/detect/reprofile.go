@@ -45,7 +45,7 @@ func NewReprofiler(app string, initial Profile, cfg Config, bufferSeconds float6
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := int(bufferSeconds / cfg.TPCM)
+	n := pcm.SampleCount(bufferSeconds, cfg.TPCM)
 	const minWindows = 20
 	if need := cfg.W + (minWindows-1)*cfg.DW; n < need {
 		return nil, fmt.Errorf("detect: reprofile buffer of %v s holds %d samples; need ≥ %d", bufferSeconds, n, need)

@@ -18,62 +18,73 @@ type AccuracyCell struct {
 
 	Recall      metrics.Distribution
 	Specificity metrics.Distribution
-	// Delay summarizes detection delays of the runs that detected the
-	// attack at all; DetectionRate is the fraction that did.
+	// Delay summarizes detection delays of the runs whose alarm had a
+	// rising edge during the attack; DetectionRate is the fraction of runs
+	// that detected the attack at all (including latched alarms, which
+	// contribute no delay).
 	Delay         metrics.Distribution
 	DetectionRate float64
 }
 
 // Accuracy reproduces Figs. 9 (recall), 10 (specificity) and 11 (delay):
 // c.Runs seeded runs for every application in apps, both attacks, and every
-// scheme the paper evaluates for that application.
+// scheme the paper evaluates for that application. The grid is executed on
+// the parallel engine at run granularity; see Config.Parallel.
 func (c Config) Accuracy(apps []string) ([]AccuracyCell, error) {
 	if len(apps) == 0 {
 		apps = workload.AppNames()
 	}
-	var cells []AccuracyCell
+	type cellKey struct {
+		app    string
+		kind   attack.Kind
+		scheme Scheme
+	}
+	var keys []cellKey
 	for _, app := range apps {
 		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
 			for _, scheme := range SchemesFor(app) {
-				cell, err := c.accuracyCell(app, kind, scheme)
-				if err != nil {
-					return nil, err
-				}
-				cells = append(cells, cell)
+				keys = append(keys, cellKey{app, kind, scheme})
 			}
 		}
 	}
-	return cells, nil
-}
 
-func (c Config) accuracyCell(app string, kind attack.Kind, scheme Scheme) (AccuracyCell, error) {
-	var (
-		recalls = make([]float64, 0, c.Runs)
-		specs   = make([]float64, 0, c.Runs)
-		delays  = make([]float64, 0, c.Runs)
-	)
-	detected := 0
-	for run := 0; run < c.Runs; run++ {
-		out, err := c.DetectionRun(app, kind, scheme, run)
-		if err != nil {
-			return AccuracyCell{}, fmt.Errorf("%s/%v/%s run %d: %w", app, kind, scheme, run, err)
-		}
-		recalls = append(recalls, out.Recall*100)
-		specs = append(specs, out.Specificity*100)
-		if out.Detected {
-			detected++
-		}
-		if out.Delay >= 0 {
-			delays = append(delays, out.Delay)
+	type job struct {
+		cell cellKey
+		run  int
+	}
+	jobs := make([]job, 0, len(keys)*c.Runs)
+	for _, k := range keys {
+		for run := 0; run < c.Runs; run++ {
+			jobs = append(jobs, job{k, run})
 		}
 	}
-	return AccuracyCell{
-		App:           app,
-		Attack:        kind,
-		Scheme:        scheme,
-		Recall:        metrics.Summarize(recalls),
-		Specificity:   metrics.Summarize(specs),
-		Delay:         metrics.Summarize(delays),
-		DetectionRate: float64(detected) / float64(c.Runs),
-	}, nil
+	outs, err := parallelMap(c.workers(), len(jobs), func(i int) (metrics.Outcome, error) {
+		j := jobs[i]
+		out, err := c.DetectionRun(j.cell.app, j.cell.kind, j.cell.scheme, j.run)
+		if err != nil {
+			return metrics.Outcome{}, fmt.Errorf("%s/%v/%s run %d: %w", j.cell.app, j.cell.kind, j.cell.scheme, j.run, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]AccuracyCell, 0, len(keys))
+	for i, k := range keys {
+		var pool runPool
+		for _, out := range outs[i*c.Runs : (i+1)*c.Runs] {
+			pool.add(out)
+		}
+		cells = append(cells, AccuracyCell{
+			App:           k.app,
+			Attack:        k.kind,
+			Scheme:        k.scheme,
+			Recall:        pool.recall(),
+			Specificity:   pool.specificity(),
+			Delay:         pool.delay(),
+			DetectionRate: pool.detectionRate(),
+		})
+	}
+	return cells, nil
 }

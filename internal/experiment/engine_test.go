@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/memdos/sds/internal/metrics"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func TestParallelMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		got, err := parallelMap(workers, 37, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	got, err := parallelMap(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestParallelMapErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := parallelMap(workers, 20, func(i int) (int, error) {
+			if i == 7 {
+				return 0, fmt.Errorf("run %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+	}
+}
+
+func TestParallelMapSerialReturnsFirstError(t *testing.T) {
+	_, err := parallelMap(1, 10, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("err at %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "err at 3" {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestParallelMapErrorCancelsRemainingWork(t *testing.T) {
+	var executed atomic.Int64
+	const n = 10000
+	_, err := parallelMap(2, n, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, errors.New("immediate failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if got := executed.Load(); got >= n {
+		t.Fatalf("all %d jobs ran despite an early error", got)
+	}
+}
+
+func TestWorkersDefaultsToCPUs(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.workers(); got < 1 {
+		t.Fatalf("workers() = %d", got)
+	}
+	c.Parallel = 3
+	if got := c.workers(); got != 3 {
+		t.Fatalf("workers() = %d, want 3", got)
+	}
+}
+
+func TestValidateRejectsNegativeParallel(t *testing.T) {
+	c := DefaultConfig()
+	c.Parallel = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative Parallel accepted")
+	}
+}
+
+// TestRunPoolFiltersLatchedAlarms pins the shared pooling contract: a
+// latched pre-existing alarm (Detected == true, Delay == -1) counts toward
+// the detection rate but must never leak a negative value into the delay
+// distribution.
+func TestRunPoolFiltersLatchedAlarms(t *testing.T) {
+	var pool runPool
+	pool.add(metrics.Outcome{Recall: 1, Specificity: 0.9, Detected: true, Delay: 12})
+	pool.add(metrics.Outcome{Recall: 1, Specificity: 0.5, Detected: true, Delay: -1}) // latched
+	pool.add(metrics.Outcome{Recall: 0, Specificity: 1, Detected: false, Delay: -1})  // missed
+
+	d := pool.delay()
+	if d.N != 1 {
+		t.Fatalf("delay distribution pooled %d values, want 1 (onsets only)", d.N)
+	}
+	if d.Median != 12 || d.P10 < 0 {
+		t.Fatalf("delay distribution = %+v, want the single onset delay", d)
+	}
+	if got := pool.detectionRate(); got != 2.0/3.0 {
+		t.Fatalf("detection rate = %v, want 2/3", got)
+	}
+	if r := pool.recall(); r.N != 3 {
+		t.Fatalf("recall pooled %d values, want all 3", r.N)
+	}
+}
+
+// TestAccuracyDeterministicAcrossWorkerCounts asserts the acceptance
+// criterion of the parallel engine: Accuracy output is bit-identical at
+// any worker-pool size.
+func TestAccuracyDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := fastConfig()
+	var ref []AccuracyCell
+	for _, parallel := range []int{1, 2, 8} {
+		c := base
+		c.Parallel = parallel
+		cells, err := c.Accuracy([]string{workload.KMeans})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if ref == nil {
+			ref = cells
+			continue
+		}
+		if !reflect.DeepEqual(ref, cells) {
+			t.Fatalf("parallel=%d diverges from parallel=1:\n%+v\nvs\n%+v", parallel, cells, ref)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts does the same for the
+// sensitivity sweeps, and doubles as the regression test that no negative
+// delay can enter a sweep's delay distribution.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := fastConfig()
+	base.Runs = 1
+	var ref []SweepPoint
+	for _, parallel := range []int{1, 2, 8} {
+		c := base
+		c.Parallel = parallel
+		points, err := c.SweepAlpha(workload.KMeans, []float64{0.2, 0.6})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for _, p := range points {
+			if p.Delay.N > 0 && (p.Delay.P10 < 0 || p.Delay.Median < 0 || p.Delay.P90 < 0) {
+				t.Fatalf("parallel=%d: negative delay in distribution at %v: %+v", parallel, p.Value, p.Delay)
+			}
+		}
+		if ref == nil {
+			ref = points
+			continue
+		}
+		if !reflect.DeepEqual(ref, points) {
+			t.Fatalf("parallel=%d diverges from parallel=1:\n%+v\nvs\n%+v", parallel, points, ref)
+		}
+	}
+}
+
+// TestOverheadDeterministicAcrossWorkerCounts covers the third rewired
+// entry point.
+func TestOverheadDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := fastConfig()
+	var ref []OverheadCell
+	for _, parallel := range []int{1, 2, 8} {
+		c := base
+		c.Parallel = parallel
+		cells, err := c.Overhead([]string{workload.FaceNet})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if ref == nil {
+			ref = cells
+			continue
+		}
+		if !reflect.DeepEqual(ref, cells) {
+			t.Fatalf("parallel=%d diverges from parallel=1:\n%+v\nvs\n%+v", parallel, cells, ref)
+		}
+	}
+}
+
+// TestAccuracyErrorPropagation asserts errgroup-style semantics end to
+// end: a failing cell surfaces as an error, not a panic or a hang.
+func TestAccuracyErrorPropagation(t *testing.T) {
+	c := fastConfig()
+	c.Parallel = 4
+	c.Detect.TPCM = 0 // invalid: every DetectionRun fails validation
+	if _, err := c.Accuracy([]string{workload.KMeans}); err == nil {
+		t.Fatal("invalid config did not propagate an error")
+	}
+}

@@ -35,6 +35,12 @@ type Config struct {
 	Seed uint64
 	// Runs is the number of repetitions per cell (the paper uses 20).
 	Runs int
+	// Parallel bounds the experiment engine's worker pool: the number of
+	// detection runs executed concurrently by Accuracy, Sweep and
+	// Overhead. Zero means one worker per available CPU; results are
+	// bit-identical at every setting because each run is independently
+	// seeded and collected in input order.
+	Parallel int
 	// ProfileSeconds is the Stage-1 attack-free profiling duration. It
 	// must cover enough execution-phase cycles of the slowest application
 	// for stable μ/σ estimates (k-means alternates phases every ~2.5 min,
@@ -74,6 +80,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.Runs <= 0:
 		return fmt.Errorf("experiment: Runs must be positive, got %d", c.Runs)
+	case c.Parallel < 0:
+		return fmt.Errorf("experiment: Parallel must be ≥ 0 (0 = all CPUs), got %d", c.Parallel)
 	case c.ProfileSeconds <= 0 || c.StageSeconds <= 0 || c.EpochSeconds <= 0:
 		return fmt.Errorf("experiment: durations must be positive: %+v", c)
 	case c.RampMin < 0 || c.RampMax < c.RampMin:
@@ -116,7 +124,7 @@ func (c Config) buildProfile(app string, seed uint64) (detect.Profile, error) {
 		return detect.Profile{}, err
 	}
 	tpcm := c.Detect.TPCM
-	n := int(c.ProfileSeconds / tpcm)
+	n := pcm.SampleCount(c.ProfileSeconds, tpcm)
 	samples := make([]pcm.Sample, n)
 	for i := 0; i < n; i++ {
 		a, m := model.Sample(tpcm, workload.Env{})
@@ -203,7 +211,7 @@ func (c Config) DetectionRun(app string, kind attack.Kind, scheme Scheme, run in
 
 	tpcm := c.Detect.TPCM
 	total := 2 * c.StageSeconds
-	n := int(total / tpcm)
+	n := pcm.SampleCount(total, tpcm)
 	states := make([]metrics.AlarmState, n)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/pcm"
 	"github.com/memdos/sds/internal/randx"
 	"github.com/memdos/sds/internal/signal"
 	"github.com/memdos/sds/internal/timeseries"
@@ -71,7 +72,7 @@ func (c Config) Exploration(app string, kind attack.Kind, seconds, segmentSecond
 	sched := attack.Schedule{Kind: kind, Start: seconds / 2, Ramp: 5}
 
 	tpcm := c.Detect.TPCM
-	n := int(seconds / tpcm)
+	n := pcm.SampleCount(seconds, tpcm)
 	series := make([]float64, n)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm
@@ -79,7 +80,7 @@ func (c Config) Exploration(app string, kind attack.Kind, seconds, segmentSecond
 		series[i] = a
 	}
 
-	segLen := int(segmentSeconds / tpcm)
+	segLen := pcm.SampleCount(segmentSeconds, tpcm)
 	half := n / 2
 	res := ExplorationResult{App: app, Attack: kind}
 	var err2 error

@@ -68,7 +68,7 @@ func (c Config) KStestIntervals(app string, intervals int) ([]KStestIntervalResu
 
 	tpcm := c.KSTest.TPCM
 	total := float64(intervals) * c.KSTest.LR
-	n := int(total / tpcm)
+	n := pcm.SampleCount(total, tpcm)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm
 		a, m := model.Sample(tpcm, workload.Env{Quiesced: flag.paused})
@@ -173,7 +173,7 @@ func (c Config) AttackTrace(app string, kind attack.Kind, seconds float64) (Trac
 	sched := attack.Schedule{Kind: kind, Start: seconds / 2, Ramp: 5}
 
 	tpcm := c.Detect.TPCM
-	n := int(seconds / tpcm)
+	n := pcm.SampleCount(seconds, tpcm)
 	tr.T = make([]float64, n)
 	tr.Value = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -258,7 +258,7 @@ func (c Config) SDSBExample(app string, seconds float64) (Fig7Result, error) {
 	}
 	sched := attack.Schedule{Kind: attack.BusLock, Start: seconds / 2, Ramp: 5}
 	tpcm := c.Detect.TPCM
-	n := int(seconds / tpcm)
+	n := pcm.SampleCount(seconds, tpcm)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm
 		a, m := model.Sample(tpcm, sched.Env(now, false))
@@ -321,7 +321,7 @@ func (c Config) SDSPExample(app string, seconds float64) (Fig8Result, error) {
 	}
 	sched := attack.Schedule{Kind: attack.BusLock, Start: seconds / 2, Ramp: 5}
 	tpcm := c.Detect.TPCM
-	n := int(seconds / tpcm)
+	n := pcm.SampleCount(seconds, tpcm)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm
 		a, m := model.Sample(tpcm, sched.Env(now, false))

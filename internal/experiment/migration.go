@@ -123,7 +123,7 @@ func (c Config) MigrationStudy(study MigrationStudyConfig, policy MigrationPolic
 
 	prof := model.Profile()
 	tpcm := c.Detect.TPCM
-	n := int(study.Seconds / tpcm)
+	n := pcm.SampleCount(study.Seconds, tpcm)
 	sched := attack.Schedule{Kind: study.Kind, Start: study.FirstAttack, Ramp: rng.Uniform(c.RampMin, c.RampMax)}
 	var (
 		pausedUntil float64

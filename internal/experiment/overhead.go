@@ -81,28 +81,36 @@ func (c Config) OverheadRun(app string, scheme Scheme, run int) (float64, error)
 }
 
 // Overhead reproduces Fig. 12: normalized execution times for every
-// application under every applicable detection scheme, without any attack.
+// application under every applicable detection scheme, without any attack,
+// fanned out on the parallel engine; see Config.Parallel.
 func (c Config) Overhead(apps []string) ([]OverheadCell, error) {
 	if len(apps) == 0 {
 		apps = workload.AppNames()
 	}
-	var cells []OverheadCell
+	type cellKey struct {
+		app    string
+		scheme Scheme
+	}
+	var keys []cellKey
 	for _, app := range apps {
 		for _, scheme := range SchemesFor(app) {
-			values := make([]float64, 0, c.Runs)
-			for run := 0; run < c.Runs; run++ {
-				v, err := c.OverheadRun(app, scheme, run)
-				if err != nil {
-					return nil, err
-				}
-				values = append(values, v)
-			}
-			cells = append(cells, OverheadCell{
-				App:        app,
-				Scheme:     scheme,
-				Normalized: metrics.Summarize(values),
-			})
+			keys = append(keys, cellKey{app, scheme})
 		}
+	}
+	values, err := parallelMap(c.workers(), len(keys)*c.Runs, func(i int) (float64, error) {
+		k := keys[i/c.Runs]
+		return c.OverheadRun(k.app, k.scheme, i%c.Runs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]OverheadCell, 0, len(keys))
+	for i, k := range keys {
+		cells = append(cells, OverheadCell{
+			App:        k.app,
+			Scheme:     k.scheme,
+			Normalized: metrics.Summarize(values[i*c.Runs : (i+1)*c.Runs]),
+		})
 	}
 	return cells, nil
 }

@@ -20,13 +20,14 @@ type SweepPoint struct {
 // Sweep runs the accuracy experiment for the app at each parameter value,
 // applying the value with apply (which mutates a copy of the SDS config).
 // Both attacks are pooled, as the paper's sensitivity figures do not split
-// them.
+// them. All (value, attack, run) combinations fan out onto the parallel
+// engine together; see Config.Parallel.
 func (c Config) Sweep(app string, values []float64, apply func(*Config, float64) error) ([]SweepPoint, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("experiment: sweep needs at least one value")
 	}
-	points := make([]SweepPoint, 0, len(values))
-	for _, v := range values {
+	cfgs := make([]Config, len(values))
+	for i, v := range values {
 		cfg := c
 		if err := apply(&cfg, v); err != nil {
 			return nil, fmt.Errorf("apply %v: %w", v, err)
@@ -34,25 +35,45 @@ func (c Config) Sweep(app string, values []float64, apply func(*Config, float64)
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("config at %v: %w", v, err)
 		}
-		var recalls, specs, delays []float64
+		cfgs[i] = cfg
+	}
+
+	type job struct {
+		vi   int
+		kind attack.Kind
+		run  int
+	}
+	var jobs []job
+	for vi := range values {
 		for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
-			for run := 0; run < cfg.Runs; run++ {
-				out, err := cfg.DetectionRun(app, kind, SchemeSDS, run)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%v at %v run %d: %w", app, kind, v, run, err)
-				}
-				recalls = append(recalls, out.Recall*100)
-				specs = append(specs, out.Specificity*100)
-				if out.Detected {
-					delays = append(delays, out.Delay)
-				}
+			for run := 0; run < cfgs[vi].Runs; run++ {
+				jobs = append(jobs, job{vi, kind, run})
 			}
 		}
+	}
+	outs, err := parallelMap(c.workers(), len(jobs), func(i int) (metrics.Outcome, error) {
+		j := jobs[i]
+		out, err := cfgs[j.vi].DetectionRun(app, j.kind, SchemeSDS, j.run)
+		if err != nil {
+			return metrics.Outcome{}, fmt.Errorf("%s/%v at %v run %d: %w", app, j.kind, values[j.vi], j.run, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pools := make([]runPool, len(values))
+	for i, j := range jobs {
+		pools[j.vi].add(outs[i])
+	}
+	points := make([]SweepPoint, 0, len(values))
+	for i, v := range values {
 		points = append(points, SweepPoint{
 			Value:       v,
-			Recall:      metrics.Summarize(recalls),
-			Specificity: metrics.Summarize(specs),
-			Delay:       metrics.Summarize(delays),
+			Recall:      pools[i].recall(),
+			Specificity: pools[i].specificity(),
+			Delay:       pools[i].delay(),
 		})
 	}
 	return points, nil

@@ -164,3 +164,51 @@ func TestNormalizedExecTime(t *testing.T) {
 		t.Error("progress above elapsed accepted")
 	}
 }
+
+// TestScoreLatchedAlarmContract pins the Delay contract the experiment
+// pooling relies on: an alarm that was already active when the attack began
+// and never clears afterwards yields Detected == true (the alarm covered
+// the attack) with Delay == -1 (no rising edge occurred at or after attack
+// start, so there is no detection delay to report).
+func TestScoreLatchedAlarmContract(t *testing.T) {
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	var tr []AlarmState
+	for ti := 0.0; ti < 600; ti += 1 {
+		tr = append(tr, AlarmState{T: ti, Alarmed: ti >= 150}) // false alarm latches across the attack
+	}
+	out, err := s.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("latched alarm not counted as detected: %+v", out)
+	}
+	if out.Delay != -1 {
+		t.Fatalf("latched alarm delay = %v, want -1 (no onset during attack)", out.Delay)
+	}
+	if out.FP == 0 {
+		t.Fatalf("pre-attack alarm epochs not scored as false positives: %+v", out)
+	}
+}
+
+// TestScoreAlarmClearsThenReraises is the companion case: when the
+// pre-existing alarm clears before the attack and a fresh onset occurs
+// during it, the delay is measured from attack start to that onset.
+func TestScoreAlarmClearsThenReraises(t *testing.T) {
+	s := Scorer{RunSeconds: 600, AttackStart: 300, EpochSeconds: 30}
+	var tr []AlarmState
+	for ti := 0.0; ti < 600; ti += 1 {
+		alarmed := (ti >= 150 && ti < 250) || ti >= 320
+		tr = append(tr, AlarmState{T: ti, Alarmed: alarmed})
+	}
+	out, err := s.Score(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("onset during attack not detected: %+v", out)
+	}
+	if math.Abs(out.Delay-20) > 1e-9 {
+		t.Fatalf("delay = %v, want 20", out.Delay)
+	}
+}

@@ -8,7 +8,25 @@ package pcm
 
 import (
 	"fmt"
+	"math"
 )
+
+// SampleCount returns the number of whole T_PCM intervals that fit in
+// seconds. A plain int(seconds/tpcm) truncation silently drops the final
+// sample whenever the quotient lands just below an integer from float
+// representation error (0.3/0.1 = 2.999…96 truncates to 2); durations that
+// are exact multiples of tpcm up to a small relative epsilon therefore
+// round to the full count instead. Non-positive inputs yield 0.
+func SampleCount(seconds, tpcm float64) int {
+	if seconds <= 0 || tpcm <= 0 {
+		return 0
+	}
+	q := seconds / tpcm
+	if r := math.Round(q); math.Abs(q-r) <= 1e-9*math.Max(r, 1) {
+		return int(r)
+	}
+	return int(q)
+}
 
 // Sample is one PCM observation of a VM: the number of LLC accesses and
 // misses during the preceding T_PCM interval.

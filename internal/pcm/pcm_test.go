@@ -114,3 +114,29 @@ func TestMonitorLongRunSampleCount(t *testing.T) {
 		t.Fatalf("got %d samples over 10 s, want 1000", total)
 	}
 }
+
+func TestSampleCount(t *testing.T) {
+	cases := []struct {
+		seconds, tpcm float64
+		want          int
+	}{
+		// Exact multiples whose float quotient lands just below the
+		// integer: plain truncation would lose the final sample.
+		{0.3, 0.1, 3},
+		{4.2, 0.7, 6},
+		{2000, 0.01, 200000},
+		// Genuine partial intervals still truncate.
+		{0.35, 0.1, 3},
+		{1.99, 1, 1},
+		// Degenerate inputs.
+		{0, 0.01, 0},
+		{-5, 0.01, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+	}
+	for _, c := range cases {
+		if got := SampleCount(c.seconds, c.tpcm); got != c.want {
+			t.Errorf("SampleCount(%v, %v) = %d, want %d", c.seconds, c.tpcm, got, c.want)
+		}
+	}
+}

@@ -69,6 +69,11 @@ const (
 // DefaultConfig returns the paper's Table 1 parameters.
 func DefaultConfig() Config { return detect.DefaultConfig() }
 
+// SampleCount returns the number of whole T_PCM intervals in seconds of
+// telemetry, rounding up quotients that sit a float representation error
+// below an integer so exact multiples never lose their final sample.
+func SampleCount(seconds, tpcm float64) int { return pcm.SampleCount(seconds, tpcm) }
+
 // DefaultKSTestConfig returns the baseline parameters the paper reuses from
 // Zhang et al.
 func DefaultKSTestConfig() KSTestConfig { return detect.DefaultKSTestConfig() }

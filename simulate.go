@@ -88,7 +88,7 @@ func CollectProfile(name string, seed uint64, seconds float64, cfg Config) (Prof
 	if err != nil {
 		return Profile{}, err
 	}
-	n := int(seconds / cfg.TPCM)
+	n := SampleCount(seconds, cfg.TPCM)
 	samples := make([]Sample, n)
 	for i := 0; i < n; i++ {
 		a, m := model.Sample(cfg.TPCM, Env{})
@@ -128,7 +128,7 @@ func Simulate(app *Application, det Detector, cfg Config, opts SimulateOptions) 
 		return nil, fmt.Errorf("sds: simulation duration must be positive, got %v", opts.Seconds)
 	}
 	probe, _ := det.(throttleProbe)
-	n := int(opts.Seconds / cfg.TPCM)
+	n := SampleCount(opts.Seconds, cfg.TPCM)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * cfg.TPCM
 		quiesced := probe != nil && probe.Collecting()
