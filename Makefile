@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench cover verify repro clean
+.PHONY: all build test race vet bench bench-all cover verify repro clean
 
 all: build vet test
 
@@ -19,7 +19,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Run the root benchmark suite with fixed iteration counts (the figure
+# benchmarks seed each iteration separately, so time-based -benchtime can
+# step onto seeds outside the profiled regime) and record the measurements
+# in the machine-readable benchmark trajectory BENCH_PR3.json.
 bench:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x . | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench_output.txt
+
+# Benchmark everything (slower; no JSON emission).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

@@ -15,12 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/memdos/sds/internal/attack"
 	"github.com/memdos/sds/internal/experiment"
 	"github.com/memdos/sds/internal/metrics"
+	"github.com/memdos/sds/internal/profiling"
 	"github.com/memdos/sds/internal/workload"
 )
 
@@ -37,19 +39,30 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		apps     = flag.String("apps", "", "comma-separated application subset (default: all)")
 		parallel = flag.Int("parallel", 0, "concurrent detection runs (0 = all CPUs); results are identical at any setting")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps, *parallel); err != nil {
+	stopProf, err := profiling.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, *fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps, *parallel)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string, parallel int) error {
+func run(out io.Writer, fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string, parallel int) error {
 	cfg := experiment.DefaultConfig()
 	cfg.Runs = runs
 	cfg.Seed = seed
@@ -65,10 +78,12 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 	}
 
 	if table1 {
-		printTable1(cfg)
+		if err := printTable1(out, cfg); err != nil {
+			return err
+		}
 	}
 	if ablate {
-		if err := runAblation(cfg); err != nil {
+		if err := runAblation(out, cfg); err != nil {
 			return err
 		}
 	}
@@ -79,19 +94,23 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 			return err
 		}
 		if fig9 {
-			renderAccuracy("Fig. 9 — recall (%), median [p10, p90] over runs; paper: medians 100% everywhere",
+			if err := renderAccuracy(out, "Fig. 9 — recall (%), median [p10, p90] over runs; paper: medians 100% everywhere",
 				cells, func(c experiment.AccuracyCell) string {
 					return distCell(c.Recall)
-				})
+				}); err != nil {
+				return err
+			}
 		}
 		if fig10 {
-			renderAccuracy("Fig. 10 — specificity (%); paper: SDS 90–100, KStest 30–80, SDS/B 94–97, SDS/P 93–94",
+			if err := renderAccuracy(out, "Fig. 10 — specificity (%); paper: SDS 90–100, KStest 30–80, SDS/B 94–97, SDS/P 93–94",
 				cells, func(c experiment.AccuracyCell) string {
 					return distCell(c.Specificity)
-				})
+				}); err != nil {
+				return err
+			}
 		}
 		if fig11 {
-			renderAccuracy("Fig. 11 — detection delay (s); paper: SDS 15–30, KStest 20–50",
+			if err := renderAccuracy(out, "Fig. 11 — detection delay (s); paper: SDS 15–30, KStest 20–50",
 				cells, func(c experiment.AccuracyCell) string {
 					// No run had an alarm onset during the attack: there is
 					// no delay distribution to summarize, and printing its
@@ -100,7 +119,9 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 						return fmt.Sprintf("n/a (detection rate %.0f%%)", 100*c.DetectionRate)
 					}
 					return distCell(c.Delay)
-				})
+				}); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -117,10 +138,10 @@ func run(fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, 
 			tb.AddRow(c.App, string(c.Scheme),
 				fmt.Sprintf("%.3f [%.3f, %.3f]", c.Normalized.Median, c.Normalized.P10, c.Normalized.P90))
 		}
-		if err := tb.Render(os.Stdout); err != nil {
+		if err := tb.Render(out); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	return nil
 }
@@ -129,7 +150,7 @@ func distCell(d metrics.Distribution) string {
 	return fmt.Sprintf("%.1f [%.1f, %.1f]", d.Median, d.P10, d.P90)
 }
 
-func renderAccuracy(title string, cells []experiment.AccuracyCell, format func(experiment.AccuracyCell) string) {
+func renderAccuracy(out io.Writer, title string, cells []experiment.AccuracyCell, format func(experiment.AccuracyCell) string) error {
 	for _, kind := range []attack.Kind{attack.BusLock, attack.Cleanse} {
 		tb := experiment.Table{
 			Title:  fmt.Sprintf("%s — %s attack", title, kind),
@@ -141,15 +162,15 @@ func renderAccuracy(title string, cells []experiment.AccuracyCell, format func(e
 			}
 			tb.AddRow(c.App, string(c.Scheme), format(c))
 		}
-		if err := tb.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "render:", err)
-			return
+		if err := tb.Render(out); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }
 
-func runAblation(cfg experiment.Config) error {
+func runAblation(out io.Writer, cfg experiment.Config) error {
 	results, err := cfg.PeriodEstimatorAblation(500)
 	if err != nil {
 		return err
@@ -165,14 +186,14 @@ func runAblation(cfg experiment.Config) error {
 			fmt.Sprintf("%.0f%%", 100*r.OtherErrors),
 			fmt.Sprintf("%.0f%%", 100*r.FalseDetections))
 	}
-	if err := tb.Render(os.Stdout); err != nil {
+	if err := tb.Render(out); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }
 
-func printTable1(cfg experiment.Config) {
+func printTable1(out io.Writer, cfg experiment.Config) error {
 	d := cfg.Detect
 	tb := experiment.Table{
 		Title:  "Table 1 — SDS parameters",
@@ -188,8 +209,9 @@ func printTable1(cfg experiment.Config) {
 	tb.AddRow("window size W_P in SDS/P", fmt.Sprintf("%d · period", d.WPFactor))
 	tb.AddRow("sliding step size ΔW_P in SDS/P", d.DWP)
 	tb.AddRow("consecutive period change threshold H_P", d.HP)
-	if err := tb.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "render:", err)
+	if err := tb.Render(out); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }

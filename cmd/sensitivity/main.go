@@ -15,9 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/profiling"
 	"github.com/memdos/sds/internal/workload"
 )
 
@@ -41,11 +43,18 @@ func main() {
 		runs     = flag.Int("runs", 10, "runs per point (per attack)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		parallel = flag.Int("parallel", 0, "concurrent detection runs (0 = all CPUs); results are identical at any setting")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if !(*alpha || *k || *w || *dw || *wp || *dwp || *all) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopProf, err := profiling.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
 	}
 
 	cfg := experiment.DefaultConfig()
@@ -53,42 +62,61 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
 
-	sweeps := []struct {
-		enabled bool
-		s       sweep
-	}{
-		{*alpha || *all, sweep{"α", "Fig. 13", workload.KMeans,
-			[]float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0},
-			experiment.Config.SweepAlpha}},
-		{*k || *all, sweep{"k", "Fig. 14", workload.KMeans,
-			[]float64{1.1, 1.125, 1.2, 1.3, 1.5, 2.0},
-			experiment.Config.SweepK}},
-		{*w || *all, sweep{"W", "Fig. 15", workload.KMeans,
-			[]float64{100, 200, 400, 600, 800, 1000},
-			experiment.Config.SweepW}},
-		{*dw || *all, sweep{"ΔW", "Fig. 16", workload.KMeans,
-			[]float64{20, 50, 100, 150, 200},
-			experiment.Config.SweepDW}},
-		{*wp || *all, sweep{"W_P factor", "Fig. 17", workload.FaceNet,
-			[]float64{2, 3, 4, 5, 6},
-			experiment.Config.SweepWPFactor}},
-		{*dwp || *all, sweep{"ΔW_P", "Fig. 18", workload.FaceNet,
-			[]float64{5, 10, 15, 20, 25},
-			experiment.Config.SweepDWP}},
+	err = run(os.Stdout, cfg, selectSweeps(*alpha || *all, *k || *all, *w || *all, *dw || *all, *wp || *all, *dwp || *all))
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
-
-	for _, entry := range sweeps {
-		if !entry.enabled {
-			continue
-		}
-		if err := runSweep(cfg, entry.s); err != nil {
-			fmt.Fprintln(os.Stderr, "sensitivity:", err)
-			os.Exit(1)
-		}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
 	}
 }
 
-func runSweep(cfg experiment.Config, s sweep) error {
+// selectSweeps returns the enabled sweeps in figure order.
+func selectSweeps(alpha, k, w, dw, wp, dwp bool) []sweep {
+	all := []struct {
+		enabled bool
+		s       sweep
+	}{
+		{alpha, sweep{"α", "Fig. 13", workload.KMeans,
+			[]float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0},
+			experiment.Config.SweepAlpha}},
+		{k, sweep{"k", "Fig. 14", workload.KMeans,
+			[]float64{1.1, 1.125, 1.2, 1.3, 1.5, 2.0},
+			experiment.Config.SweepK}},
+		{w, sweep{"W", "Fig. 15", workload.KMeans,
+			[]float64{100, 200, 400, 600, 800, 1000},
+			experiment.Config.SweepW}},
+		{dw, sweep{"ΔW", "Fig. 16", workload.KMeans,
+			[]float64{20, 50, 100, 150, 200},
+			experiment.Config.SweepDW}},
+		{wp, sweep{"W_P factor", "Fig. 17", workload.FaceNet,
+			[]float64{2, 3, 4, 5, 6},
+			experiment.Config.SweepWPFactor}},
+		{dwp, sweep{"ΔW_P", "Fig. 18", workload.FaceNet,
+			[]float64{5, 10, 15, 20, 25},
+			experiment.Config.SweepDWP}},
+	}
+	var out []sweep
+	for _, entry := range all {
+		if entry.enabled {
+			out = append(out, entry.s)
+		}
+	}
+	return out
+}
+
+// run executes the sweeps in order and renders each table to out.
+func run(out io.Writer, cfg experiment.Config, sweeps []sweep) error {
+	for _, s := range sweeps {
+		if err := runSweep(out, cfg, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSweep(out io.Writer, cfg experiment.Config, s sweep) error {
 	points, err := s.run(cfg, s.app, s.values)
 	if err != nil {
 		return err
@@ -111,9 +139,9 @@ func runSweep(cfg experiment.Config, s sweep) error {
 			delay,
 		)
 	}
-	if err := tb.Render(os.Stdout); err != nil {
+	if err := tb.Render(out); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return nil
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds/internal/experiment"
+)
+
+// TestRunMatchesGolden pins the fixed-seed sweep output byte for byte
+// against a capture taken before the plan/scratch optimisation
+// (testdata/golden_small.txt, generated with:
+//
+//	sensitivity -wp -alpha -runs 2 -seed 1 -parallel 0
+//
+// ). The W_P sweep exercises SDS/P's reusable period estimator at several
+// window sizes; the α sweep exercises the profile cache across configs that
+// differ in detection parameters.
+func TestRunMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced sensitivity sweep; skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/golden_small.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	cfg := experiment.DefaultConfig()
+	cfg.Runs = 2
+	cfg.Seed = 1
+	cfg.Parallel = 0
+	// Flag order on the capture command line does not matter: sweeps always
+	// execute in figure order, so -wp -alpha renders α (Fig. 13) first.
+	sweeps := selectSweeps(true, false, false, false, true, false)
+	var got strings.Builder
+	if err := run(&got, cfg, sweeps); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got.String() != string(want) {
+		t.Fatalf("output diverged from golden capture.\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
+	}
+}

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// These tests pin the steady-state allocation behaviour of every detector's
+// Observe path at zero: the per-sample pipeline (ring updates, moving
+// averages, period estimation, KS comparisons) must run without touching
+// the heap once warmed up. A regression here silently reintroduces GC
+// pressure multiplied by ~60k samples per run across the whole grid.
+
+// observeAllocs feeds the detector `warm` samples to fill windows, build FFT
+// plans and grow scratch, then measures allocations over the next batch.
+func observeAllocs(t *testing.T, d Detector, samples []pcm.Sample, warm int) float64 {
+	t.Helper()
+	if warm >= len(samples) {
+		t.Fatalf("warmup %d consumes all %d samples", warm, len(samples))
+	}
+	for _, s := range samples[:warm] {
+		d.Observe(s)
+	}
+	rest := samples[warm:]
+	i := 0
+	return testing.AllocsPerRun(len(rest)-1, func() {
+		d.Observe(rest[i])
+		i++
+	})
+}
+
+func TestSDSBObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 71)
+	d, err := NewSDSB(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := genSamples(t, workload.KMeans, 72, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("SDSB.Observe: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestSDSPObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 73)
+	d, err := NewSDSP(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 s of attack-free samples cover many ΔW_P estimation rounds, so
+	// the measured window includes full DFT–ACF estimates, not just ring
+	// pushes — those too must be allocation-free.
+	samples := genSamples(t, workload.FaceNet, 74, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("SDSP.Observe: %.2f allocs/op in steady state (estimate rounds included), want 0", allocs)
+	}
+}
+
+func TestSDSObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 75)
+	d, err := NewSDS(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := genSamples(t, workload.FaceNet, 76, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("SDS.Observe: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestKSTestObserveSteadyStateZeroAlloc(t *testing.T) {
+	d, err := NewKSTest(DefaultKSTestConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := genSamples(t, workload.KMeans, 77, 29, attack.Schedule{})
+	// Warm past the first reference collection (W_R = 1 s) but stop before
+	// the next one at L_R = 30 s: the measured window then covers monitored
+	// ring pushes and KS checks only. Reference collection itself appends
+	// to a reusable buffer and is amortized (W_R/L_R of samples).
+	warm := len(samples) / 4
+	if allocs := observeAllocs(t, d, samples, warm); allocs != 0 {
+		t.Fatalf("KSTest.Observe: %.2f allocs/op in steady state (checks included), want 0", allocs)
+	}
+}

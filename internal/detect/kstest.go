@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/memdos/sds/internal/ksstat"
 	"github.com/memdos/sds/internal/pcm"
@@ -119,6 +120,11 @@ type KSTest struct {
 	winPos     int
 	winCount   int
 
+	// monA and monM are reusable scratch the monitored rings are linearized
+	// and sorted into at each check, keeping the steady state allocation-free
+	// (the reference slices are sorted in place once per collection).
+	monA, monM []float64
+
 	collecting  bool
 	refDeadline float64
 	nextRef     float64
@@ -162,6 +168,8 @@ func NewKSTest(cfg KSTestConfig, throttler Throttler, opts ...KSTestOption) (*KS
 		throttler: throttler,
 		winA:      make([]float64, winLen),
 		winM:      make([]float64, winLen),
+		monA:      make([]float64, winLen),
+		monM:      make([]float64, winLen),
 	}
 	for _, o := range opts {
 		o.applyKSTest(d)
@@ -199,7 +207,9 @@ func (d *KSTest) Observe(s pcm.Sample) {
 	// Monitored-sample ring.
 	d.winA[d.winPos] = s.Access
 	d.winM[d.winPos] = s.Miss
-	d.winPos = (d.winPos + 1) % len(d.winA)
+	if d.winPos++; d.winPos == len(d.winA) {
+		d.winPos = 0
+	}
 	if d.winCount < len(d.winA) {
 		d.winCount++
 	}
@@ -223,6 +233,10 @@ func (d *KSTest) beginReference(t float64) {
 func (d *KSTest) endReference(t float64) {
 	d.collecting = false
 	d.refReady = true
+	// The reference is only ever consumed as an empirical distribution, so
+	// sort it once here instead of copy+sort at every check.
+	sort.Float64s(d.refA)
+	sort.Float64s(d.refM)
 	if d.throttler != nil {
 		d.throttler.ResumeOthers()
 	}
@@ -240,10 +254,12 @@ func (d *KSTest) endReference(t float64) {
 }
 
 func (d *KSTest) check(t float64) {
-	monA := d.ringSnapshot(d.winA)
-	monM := d.ringSnapshot(d.winM)
-	dA, errA := ksstat.Statistic(d.refA, monA)
-	dM, errM := ksstat.Statistic(d.refM, monM)
+	monA := d.ringSnapshotInto(d.monA, d.winA)
+	monM := d.ringSnapshotInto(d.monM, d.winM)
+	sort.Float64s(monA)
+	sort.Float64s(monM)
+	dA, errA := ksstat.StatisticSorted(d.refA, monA)
+	dM, errM := ksstat.StatisticSorted(d.refM, monM)
 	if errA != nil || errM != nil {
 		// Cannot happen with validated windows; treat as non-rejection.
 		return
@@ -277,8 +293,9 @@ func (d *KSTest) check(t float64) {
 	d.alarmed = nowAlarmed
 }
 
-func (d *KSTest) ringSnapshot(ring []float64) []float64 {
-	out := make([]float64, len(ring))
+// ringSnapshotInto linearizes the ring (oldest first) into the caller's
+// scratch and returns it.
+func (d *KSTest) ringSnapshotInto(out, ring []float64) []float64 {
 	copy(out, ring[d.winPos:])
 	copy(out[len(ring)-d.winPos:], ring[:d.winPos])
 	return out

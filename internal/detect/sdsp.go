@@ -29,6 +29,14 @@ type SDSP struct {
 	pos        int
 	filled     bool
 
+	// Steady-state scratch: the period estimator (FFT plans, periodogram,
+	// ACF and candidate buffers), the linearized-window buffer the rings
+	// are unrolled into, and the precomputed estimator options. Together
+	// they make every estimation round allocation-free.
+	est        *signal.PeriodEstimator
+	winScratch []float64
+	estOpts    signal.PeriodOptions
+
 	sinceEstimate int
 	devCount      int
 	alarmed       bool
@@ -89,6 +97,9 @@ func NewSDSP(prof Profile, cfg Config, opts ...SDSPOption) (*SDSP, error) {
 	}
 	d.bufA = make([]float64, 0, d.wp)
 	d.bufM = make([]float64, 0, d.wp)
+	d.est = signal.NewPeriodEstimator()
+	d.winScratch = make([]float64, d.wp)
+	d.estOpts = periodOptions(cfg, prof.PeriodMA)
 	for _, o := range opts {
 		o.applySDSP(d)
 	}
@@ -122,7 +133,9 @@ func (d *SDSP) Observe(s pcm.Sample) {
 	}
 	d.bufA[d.pos] = mA
 	d.bufM[d.pos] = mM
-	d.pos = (d.pos + 1) % d.wp
+	if d.pos++; d.pos == d.wp {
+		d.pos = 0
+	}
 	d.sinceEstimate++
 	if d.sinceEstimate >= d.cfg.DWP {
 		d.estimate(s.T)
@@ -161,11 +174,12 @@ func (d *SDSP) estimate(t float64) {
 // estimateMetric analyses one counter's window, fires the hook, and reports
 // the estimate and whether it counts as a deviation.
 func (d *SDSP) estimateMetric(t float64, metric Metric, ring []float64) (signal.PeriodEstimate, bool) {
-	window := make([]float64, d.wp)
+	// Linearize the ring into the reusable scratch window (oldest first).
+	window := d.winScratch
 	copy(window, ring[d.pos:])
 	copy(window[d.wp-d.pos:], ring[:d.pos])
 
-	est, found := signal.EstimatePeriod(window, periodOptions(d.cfg, d.prof.PeriodMA))
+	est, found := d.est.Estimate(window, d.estOpts)
 	deviant := !found
 	if found {
 		diff := relDiff(float64(est.Period), float64(d.prof.PeriodMA))

@@ -34,6 +34,9 @@ func (c Config) Accuracy(apps []string) ([]AccuracyCell, error) {
 	if len(apps) == 0 {
 		apps = workload.AppNames()
 	}
+	// Every (attack, scheme) cell of one (app, run) pair profiles from the
+	// same derived seed; share those Stage-1 passes across the grid.
+	c.profiles = newProfileCache()
 	type cellKey struct {
 		app    string
 		kind   attack.Kind

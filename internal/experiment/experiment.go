@@ -58,6 +58,11 @@ type Config struct {
 	Detect detect.Config
 	// KSTest carries the baseline parameters.
 	KSTest detect.KSTestConfig
+
+	// profiles deduplicates Stage-1 profiling across grid cells that share
+	// a (app, seed, parameters) profile. Attached by the grid runners
+	// (Accuracy, Sweep); nil means profiles are built per run.
+	profiles *profileCache
 }
 
 // DefaultConfig returns the paper's evaluation settings.
@@ -186,7 +191,7 @@ func (c Config) DetectionRun(app string, kind attack.Kind, scheme Scheme, run in
 		return metrics.Outcome{}, err
 	}
 	seed := randx.Derive(c.Seed, uint64(run)).Uint64()
-	prof, err := c.buildProfile(app, seed)
+	prof, err := c.cachedProfile(app, seed)
 	if err != nil {
 		return metrics.Outcome{}, fmt.Errorf("profile %s: %w", app, err)
 	}

@@ -26,6 +26,11 @@ func (c Config) Sweep(app string, values []float64, apply func(*Config, float64)
 	if len(values) == 0 {
 		return nil, fmt.Errorf("experiment: sweep needs at least one value")
 	}
+	// Sweep values that leave the profiling parameters unchanged (e.g. the
+	// SDS/P-only knobs W_P and ΔW_P) share Stage-1 profiles through the
+	// cache; the key includes detect.Config, so values that do alter
+	// profiling stay separate.
+	c.profiles = newProfileCache()
 	cfgs := make([]Config, len(values))
 	for i, v := range values {
 		cfg := c

@@ -18,8 +18,17 @@ func Statistic(a, b []float64) (float64, error) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, fmt.Errorf("ksstat: both samples must be nonempty (got %d and %d)", len(a), len(b))
 	}
-	sa := sortedCopy(a)
-	sb := sortedCopy(b)
+	return StatisticSorted(sortedCopy(a), sortedCopy(b))
+}
+
+// StatisticSorted is Statistic for samples that are already sorted in
+// ascending order. It allocates nothing, so callers comparing windows
+// repeatedly (the KStest detector) can sort into reusable scratch and keep
+// their steady state allocation-free.
+func StatisticSorted(sa, sb []float64) (float64, error) {
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0, fmt.Errorf("ksstat: both samples must be nonempty (got %d and %d)", len(sa), len(sb))
+	}
 	var (
 		d    float64
 		i, j int

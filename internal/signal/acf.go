@@ -17,6 +17,16 @@ func ACF(x []float64, maxLag int) []float64 {
 	if maxLag < 0 {
 		maxLag = 0
 	}
+	out := make([]float64, maxLag+1)
+	acfDirectInto(out, x, maxLag)
+	return out
+}
+
+// acfDirectInto fills out (length maxLag+1) with the normalized
+// autocorrelation of x by the direct O(n·maxLag) summation. out[0] is 1; a
+// constant (zero-variance) series yields 0 at every other lag.
+func acfDirectInto(out, x []float64, maxLag int) {
+	n := len(x)
 	mean := 0.0
 	for _, v := range x {
 		mean += v
@@ -27,10 +37,12 @@ func ACF(x []float64, maxLag int) []float64 {
 		d := v - mean
 		c0 += d * d
 	}
-	out := make([]float64, maxLag+1)
 	out[0] = 1
 	if c0 == 0 {
-		return out
+		for lag := 1; lag <= maxLag; lag++ {
+			out[lag] = 0
+		}
+		return
 	}
 	for lag := 1; lag <= maxLag; lag++ {
 		var c float64
@@ -39,7 +51,6 @@ func ACF(x []float64, maxLag int) []float64 {
 		}
 		out[lag] = c / c0
 	}
-	return out
 }
 
 // onACFHill reports whether the given lag sits on a "hill" of the ACF: a

@@ -5,119 +5,48 @@
 // spectral coherence) that the paper explored and rejected in §3.4.
 package signal
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-	"math/cmplx"
-)
+import "fmt"
 
 // FFT returns the discrete Fourier transform of x. Any length is accepted:
 // power-of-two inputs use the iterative radix-2 algorithm and all other
 // lengths use Bluestein's chirp-z transform. The input is not modified.
+//
+// The twiddle and chirp tables for each size are computed once and cached
+// process-wide (see plan.go); callers transforming the same size repeatedly
+// should hold an FFTPlan instead to also reuse the output and scratch
+// buffers.
 func FFT(x []complex128) []complex128 {
-	return dft(x, false)
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	t := tablesFor(n)
+	out := make([]complex128, n)
+	var scratch []complex128
+	if !t.pow2 {
+		scratch = make([]complex128, t.m)
+	}
+	t.transform(out, x, scratch, false)
+	return out
 }
 
 // IFFT returns the inverse discrete Fourier transform of X, normalized by
 // 1/N so that IFFT(FFT(x)) == x.
 func IFFT(x []complex128) []complex128 {
-	out := dft(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range out {
-		out[i] /= n
-	}
-	return out
-}
-
-func dft(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	if n&(n-1) == 0 {
-		out := make([]complex128, n)
-		copy(out, x)
-		radix2(out, inverse)
-		return out
-	}
-	return bluestein(x, inverse)
-}
-
-// radix2 performs an in-place iterative Cooley-Tukey FFT. len(x) must be a
-// power of two.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution, which is in
-// turn computed with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w_k = exp(sign * i*pi*k^2/n).
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// Reduce k^2 mod 2n to keep the angle argument small.
-		k2 := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
+	t := tablesFor(n)
 	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * scale * chirp[k]
+	var scratch []complex128
+	if !t.pow2 {
+		scratch = make([]complex128, t.m)
+	}
+	t.transform(out, x, scratch, true)
+	nn := complex(float64(n), 0)
+	for i := range out {
+		out[i] /= nn
 	}
 	return out
 }
@@ -138,21 +67,10 @@ func Periodogram(x []float64) []float64 {
 	if n == 0 {
 		return nil
 	}
-	mean := 0.0
-	for _, v := range x {
-		mean += v
-	}
-	mean /= float64(n)
-	cx := make([]complex128, n)
-	for i, v := range x {
-		cx[i] = complex(v-mean, 0)
-	}
-	X := FFT(cx)
 	out := make([]float64, n/2+1)
-	for k := range out {
-		re, im := real(X[k]), imag(X[k])
-		out[k] = (re*re + im*im) / float64(n)
-	}
+	p := borrowEstimator()
+	p.periodogramInto(out, x)
+	returnEstimator(p)
 	return out
 }
 

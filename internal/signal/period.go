@@ -1,6 +1,9 @@
 package signal
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // PeriodEstimate is the result of DFT–ACF period detection.
 type PeriodEstimate struct {
@@ -48,26 +51,170 @@ func (o PeriodOptions) withDefaults() PeriodOptions {
 	return o
 }
 
-// EstimatePeriod detects the dominant period of x using the combined
-// DFT–ACF method the paper adopts from Vlachos et al. (SDM '05):
+// periodCandidate is one periodogram peak under consideration.
+type periodCandidate struct {
+	k     int
+	power float64
+}
+
+// candidateList sorts candidates by decreasing power. It implements
+// sort.Interface on its pointer so sorting performs no allocation.
+type candidateList []periodCandidate
+
+func (c *candidateList) Len() int           { return len(*c) }
+func (c *candidateList) Less(i, j int) bool { return (*c)[i].power > (*c)[j].power }
+func (c *candidateList) Swap(i, j int)      { (*c)[i], (*c)[j] = (*c)[j], (*c)[i] }
+
+// PeriodEstimator runs DFT–ACF period detection with reusable state: FFT
+// plans per window size, and scratch for the demeaned series, periodogram,
+// autocorrelation and candidate lists. After the first call at a given
+// window size, Estimate performs no heap allocation — this is what lets
+// SDS/P re-estimate every ΔW_P windows without pressuring the collector.
 //
-//  1. the periodogram proposes candidate periods at its strongest
-//     frequencies (DFT alone may report spurious frequencies caused by
-//     spectral leakage), and
-//  2. each candidate is accepted only if it lies on a hill of the
-//     autocorrelation function, where it is refined to the exact ACF local
-//     maximum (ACF alone would also accept integer multiples of the true
-//     period, so the DFT ordering decides which hill to trust first).
-//
-// ok is false when no candidate passes validation — i.e. the series has no
-// detectable periodicity.
-func EstimatePeriod(x []float64, opts PeriodOptions) (PeriodEstimate, bool) {
+// An estimator is NOT safe for concurrent use; each detector owns one. The
+// Candidates slice of a returned PeriodEstimate aliases estimator scratch
+// and is only valid until the next Estimate call — the EstimatePeriod free
+// function returns a private copy instead.
+type PeriodEstimator struct {
+	plans       map[int]*FFTPlan
+	cx          []complex128
+	spec        []float64
+	acf         []float64
+	cands       candidateList
+	candPeriods []int
+}
+
+// NewPeriodEstimator returns an empty estimator; buffers and plans are
+// built lazily on first use at each window size.
+func NewPeriodEstimator() *PeriodEstimator {
+	return &PeriodEstimator{plans: make(map[int]*FFTPlan)}
+}
+
+// planFor returns the estimator's plan for size n, creating it on first use.
+func (e *PeriodEstimator) planFor(n int) *FFTPlan {
+	if p, ok := e.plans[n]; ok {
+		return p
+	}
+	p := NewFFTPlan(n)
+	e.plans[n] = p
+	return p
+}
+
+// growComplex returns s resized to n, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growComplex(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
+}
+
+// growFloats is growComplex for float64 slices.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// periodogramInto fills out (length len(x)/2+1) with the power spectral
+// density estimate |X_k|²/N of the demeaned series x. Bit-identical to the
+// Periodogram free function.
+func (e *PeriodEstimator) periodogramInto(out, x []float64) {
+	n := len(x)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	e.cx = growComplex(e.cx, n)
+	cx := e.cx
+	for i, v := range x {
+		cx[i] = complex(v-mean, 0)
+	}
+	e.planFor(n).Forward(cx, cx)
+	for k := range out {
+		re, im := real(cx[k]), imag(cx[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+}
+
+// acfFFTThreshold is the naive-work level (n·maxLag multiply-adds) above
+// which the Wiener–Khinchin O(n log n) autocorrelation wins over the direct
+// O(n·maxLag) loop. Below it — e.g. SDS/P's W_P = 2p windows — the direct
+// loop is both faster and bit-identical to the historical ACF.
+const acfFFTThreshold = 1 << 14
+
+// acfInto fills out (length maxLag+1, maxLag pre-clamped to len(x)-1) with
+// the normalized autocorrelation of x. Small problems use the direct loop
+// (bit-identical to ACF); large ones — the profiler's whole-series ACF —
+// use the FFT-based method, which agrees to ~1e-12 relative.
+func (e *PeriodEstimator) acfInto(out, x []float64, maxLag int) {
+	n := len(x)
+	if n*maxLag <= acfFFTThreshold {
+		acfDirectInto(out, x, maxLag)
+		return
+	}
+
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	var c0 float64
+	for _, v := range x {
+		d := v - mean
+		c0 += d * d
+	}
+	out[0] = 1
+	for i := 1; i <= maxLag; i++ {
+		out[i] = 0
+	}
+	if c0 == 0 {
+		return
+	}
+
+	// Wiener–Khinchin with zero-padding to m ≥ n+maxLag so circular
+	// correlation equals linear correlation for every lag we read.
+	m := 1
+	for m < n+maxLag+1 {
+		m <<= 1
+	}
+	e.cx = growComplex(e.cx, m)
+	cx := e.cx
+	for i, v := range x {
+		cx[i] = complex(v-mean, 0)
+	}
+	for i := n; i < m; i++ {
+		cx[i] = 0
+	}
+	p := e.planFor(m)
+	p.Forward(cx, cx)
+	for i := range cx {
+		re, im := real(cx[i]), imag(cx[i])
+		cx[i] = complex(re*re+im*im, 0)
+	}
+	p.Inverse(cx, cx)
+	r0 := real(cx[0])
+	if r0 == 0 {
+		return
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		out[lag] = real(cx[lag]) / r0
+	}
+}
+
+// Estimate detects the dominant period of x; see EstimatePeriod for the
+// method. The returned Candidates slice aliases estimator scratch.
+func (e *PeriodEstimator) Estimate(x []float64, opts PeriodOptions) (PeriodEstimate, bool) {
 	o := opts.withDefaults()
 	n := len(x)
 	if n < 2*o.MinPeriod {
 		return PeriodEstimate{}, false
 	}
-	spec := Periodogram(x)
+	e.spec = growFloats(e.spec, n/2+1)
+	spec := e.spec
+	e.periodogramInto(spec, x)
 	var total, peak float64
 	for k := 1; k < len(spec); k++ {
 		total += spec[k]
@@ -83,43 +230,79 @@ func EstimatePeriod(x []float64, opts PeriodOptions) (PeriodEstimate, bool) {
 	if t := o.PowerThreshold * peak; t > floor {
 		floor = t
 	}
-	type candidate struct {
-		k     int
-		power float64
-	}
 	maxPeriod := n / 2
 	if o.MaxPeriod > 0 && o.MaxPeriod < maxPeriod {
 		maxPeriod = o.MaxPeriod
 	}
-	var cands []candidate
+	e.cands = e.cands[:0]
 	for k := 1; k < len(spec); k++ {
 		period := n / k
 		if period < o.MinPeriod || period > maxPeriod {
 			continue
 		}
 		if spec[k] >= floor {
-			cands = append(cands, candidate{k: k, power: spec[k]})
+			e.cands = append(e.cands, periodCandidate{k: k, power: spec[k]})
 		}
 	}
-	if len(cands) == 0 {
+	if len(e.cands) == 0 {
 		return PeriodEstimate{}, false
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].power > cands[j].power })
+	sort.Sort(&e.cands)
+	cands := e.cands
 	if len(cands) > o.MaxCandidates {
 		cands = cands[:o.MaxCandidates]
 	}
-	est := PeriodEstimate{Candidates: make([]int, 0, len(cands))}
-	acf := ACF(x, n/2)
+	var est PeriodEstimate
+	e.candPeriods = e.candPeriods[:0]
+	maxLag := n / 2
+	e.acf = growFloats(e.acf, maxLag+1)
+	e.acfInto(e.acf, x, maxLag)
 	for _, c := range cands {
 		period := n / c.k
-		est.Candidates = append(est.Candidates, period)
-		if refined, ok := onACFHill(acf, period); ok {
+		e.candPeriods = append(e.candPeriods, period)
+		if refined, ok := onACFHill(e.acf, period); ok {
 			est.Period = refined
 			est.Power = c.power
+			est.Candidates = e.candPeriods
 			return est, true
 		}
 	}
+	est.Candidates = e.candPeriods
 	return est, false
+}
+
+// estimatorPool recycles estimators behind the free functions so one-shot
+// callers (the Stage-1 profiler, tests) still reuse plans and scratch.
+var estimatorPool = sync.Pool{New: func() any { return NewPeriodEstimator() }}
+
+func borrowEstimator() *PeriodEstimator  { return estimatorPool.Get().(*PeriodEstimator) }
+func returnEstimator(e *PeriodEstimator) { estimatorPool.Put(e) }
+
+// EstimatePeriod detects the dominant period of x using the combined
+// DFT–ACF method the paper adopts from Vlachos et al. (SDM '05):
+//
+//  1. the periodogram proposes candidate periods at its strongest
+//     frequencies (DFT alone may report spurious frequencies caused by
+//     spectral leakage), and
+//  2. each candidate is accepted only if it lies on a hill of the
+//     autocorrelation function, where it is refined to the exact ACF local
+//     maximum (ACF alone would also accept integer multiples of the true
+//     period, so the DFT ordering decides which hill to trust first).
+//
+// ok is false when no candidate passes validation — i.e. the series has no
+// detectable periodicity.
+//
+// This is a convenience wrapper over PeriodEstimator; hot loops that
+// estimate repeatedly (SDS/P) should hold their own estimator, which makes
+// every call allocation-free.
+func EstimatePeriod(x []float64, opts PeriodOptions) (PeriodEstimate, bool) {
+	e := borrowEstimator()
+	est, ok := e.Estimate(x, opts)
+	if len(est.Candidates) > 0 {
+		est.Candidates = append([]int(nil), est.Candidates...)
+	}
+	returnEstimator(e)
+	return est, ok
 }
 
 // IsPeriodic reports whether the series has a stable detectable period: the
@@ -131,14 +314,19 @@ func IsPeriodic(x []float64, tolerance float64, opts PeriodOptions) (period int,
 	if len(x) < 8 {
 		return 0, false
 	}
-	whole, ok := EstimatePeriod(x, opts)
+	e := borrowEstimator()
+	defer returnEstimator(e)
+	whole, ok := e.Estimate(x, opts)
 	if !ok {
 		return 0, false
 	}
 	half := len(x) / 2
-	a, okA := EstimatePeriod(x[:half], opts)
-	b, okB := EstimatePeriod(x[half:], opts)
-	if !okA || !okB {
+	a, okA := e.Estimate(x[:half], opts)
+	if !okA {
+		return 0, false
+	}
+	b, okB := e.Estimate(x[half:], opts)
+	if !okB {
 		return 0, false
 	}
 	if relDiff(float64(a.Period), float64(b.Period)) > tolerance {

@@ -1,0 +1,279 @@
+package signal
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// This file implements the plan/scratch layer of the FFT: all tables that
+// depend only on the transform size — bit-reversal permutations, per-stage
+// twiddle factors, and Bluestein chirp/convolution tables — are computed
+// once per size, cached process-wide, and shared by every transform of that
+// size. A FFTPlan adds per-instance scratch on top of the shared tables so
+// that repeated transforms of the same size allocate nothing.
+//
+// Numerical contract: every code path reproduces the original free-function
+// implementation operation for operation (the twiddle tables are built with
+// the same iterated-multiplication recurrence the in-line loop used, and
+// the Bluestein convolution multiplies in the same order), so plan-based
+// transforms are bit-identical to the historical FFT/IFFT results. The
+// detection pipeline's fixed-seed outputs therefore do not change; see
+// plan_test.go for the enforced equivalence.
+
+// fftTables holds the immutable, shareable precomputation for one transform
+// size. Safe for concurrent use once built.
+type fftTables struct {
+	n    int
+	pow2 bool
+
+	// Power-of-two path: bit-reversal permutation and per-stage twiddle
+	// factors. twiddle[d][k] for d = stage index (size 2<<d) holds the
+	// value the original loop's running w had after k multiplications by
+	// wStep, flattened into one slice with stage s (size = 2^(s+1))
+	// starting at offset 2^s − 1. fwd is the forward (sign −1) table, inv
+	// the inverse (sign +1) table.
+	rev      []int32
+	fwd, inv []complex128
+
+	// Bluestein path (non-power-of-two sizes): the chirp sequences
+	// exp(±iπk²/n), the forward FFT of the padded conjugate-chirp
+	// sequence for both directions, and the tables of the power-of-two
+	// convolution size m.
+	m              int
+	chirpF, chirpI []complex128
+	bFFTF, bFFTI   []complex128
+	sub            *fftTables
+}
+
+// tableCache caches fftTables per size for the lifetime of the process. The
+// set of sizes any workload touches is small (the detector window sizes and
+// their padded power-of-two companions), so the cache is unbounded.
+var tableCache sync.Map // int -> *fftTables
+
+// tablesFor returns the shared tables for size n, building them on first
+// use. Concurrent first calls may build duplicates; all are identical and
+// one wins the cache slot.
+func tablesFor(n int) *fftTables {
+	if v, ok := tableCache.Load(n); ok {
+		return v.(*fftTables)
+	}
+	t := newFFTTables(n)
+	actual, _ := tableCache.LoadOrStore(n, t)
+	return actual.(*fftTables)
+}
+
+func newFFTTables(n int) *fftTables {
+	t := &fftTables{n: n}
+	if n == 0 {
+		return t
+	}
+	if n&(n-1) == 0 {
+		t.pow2 = true
+		t.buildPow2()
+		return t
+	}
+	t.buildBluestein()
+	return t
+}
+
+// buildPow2 precomputes the bit-reversal permutation and the per-stage
+// twiddle tables, reproducing the original running-product recurrence
+// (w = 1; w *= wStep) exactly so table-driven butterflies are bit-identical
+// to the historical in-line computation.
+func (t *fftTables) buildPow2() {
+	n := t.n
+	t.rev = make([]int32, n)
+	if n > 1 {
+		shift := 64 - uint(bits.TrailingZeros(uint(n)))
+		for i := 0; i < n; i++ {
+			t.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	t.fwd = buildTwiddles(n, -1)
+	t.inv = buildTwiddles(n, +1)
+}
+
+// buildTwiddles returns the flattened per-stage twiddle table for the given
+// sign, stage s (butterfly size 2^(s+1)) at offset 2^s − 1 with 2^s entries.
+func buildTwiddles(n int, sign float64) []complex128 {
+	if n < 2 {
+		return nil
+	}
+	tw := make([]complex128, n-1)
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			tw[off+k] = w
+			w *= wStep
+		}
+		off += half
+	}
+	return tw
+}
+
+// buildBluestein precomputes the chirp sequences and the forward FFTs of
+// the padded conjugate-chirp ("b") sequences for both transform directions.
+func (t *fftTables) buildBluestein() {
+	n := t.n
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	t.m = m
+	t.sub = tablesFor(m)
+	t.chirpF = buildChirp(n, -1)
+	t.chirpI = buildChirp(n, +1)
+	t.bFFTF = buildChirpFFT(t.chirpF, m, t.sub)
+	t.bFFTI = buildChirpFFT(t.chirpI, m, t.sub)
+}
+
+// buildChirp returns chirp[k] = exp(sign·iπk²/n), with k² reduced mod 2n to
+// keep the angle argument small — the same reduction the original used.
+func buildChirp(n int, sign float64) []complex128 {
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+	return chirp
+}
+
+// buildChirpFFT builds the padded conjugate-chirp sequence and transforms
+// it with the size-m tables.
+func buildChirpFFT(chirp []complex128, m int, sub *fftTables) []complex128 {
+	n := len(chirp)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	sub.radix2(b, false)
+	return b
+}
+
+// radix2 performs the table-driven in-place iterative Cooley–Tukey FFT.
+// len(x) must equal t.n, which must be a power of two.
+func (t *fftTables) radix2(x []complex128, inverse bool) {
+	n := t.n
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(t.rev[i])
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := t.fwd
+	if inverse {
+		tw = t.inv
+	}
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[off : off+half]
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * stage[k]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+		off += half
+	}
+}
+
+// bluestein computes the arbitrary-length DFT of src into dst using the
+// precomputed chirp/convolution tables and the caller-provided scratch of
+// length t.m. dst and src may alias; scratch must not alias either.
+func (t *fftTables) bluestein(dst, src, scratch []complex128, inverse bool) {
+	n := t.n
+	chirp, bFFT := t.chirpF, t.bFFTF
+	if inverse {
+		chirp, bFFT = t.chirpI, t.bFFTI
+	}
+	a := scratch[:t.m]
+	for k := 0; k < n; k++ {
+		a[k] = src[k] * chirp[k]
+	}
+	for k := n; k < t.m; k++ {
+		a[k] = 0
+	}
+	t.sub.radix2(a, false)
+	for i := range a {
+		a[i] *= bFFT[i]
+	}
+	t.sub.radix2(a, true)
+	scale := complex(1/float64(t.m), 0)
+	for k := 0; k < n; k++ {
+		dst[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// transform computes the DFT (or unnormalized inverse DFT) of src into dst
+// using the caller's scratch (nil is fine for power-of-two sizes).
+func (t *fftTables) transform(dst, src, scratch []complex128, inverse bool) {
+	if t.pow2 {
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+		t.radix2(dst, inverse)
+		return
+	}
+	t.bluestein(dst, src, scratch, inverse)
+}
+
+// FFTPlan is a reusable transform of one fixed size: shared immutable
+// tables plus instance-owned scratch. Creating a plan is cheap once any
+// plan of that size has existed (the tables are cached process-wide);
+// transforming through a plan performs no allocation. A plan is NOT safe
+// for concurrent use — give each goroutine its own.
+type FFTPlan struct {
+	t       *fftTables
+	scratch []complex128 // len m for Bluestein sizes, nil for powers of two
+}
+
+// NewFFTPlan returns a plan for transforms of length n.
+func NewFFTPlan(n int) *FFTPlan {
+	t := tablesFor(n)
+	p := &FFTPlan{t: t}
+	if !t.pow2 && n > 0 {
+		p.scratch = make([]complex128, t.m)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.t.n }
+
+// Forward computes the DFT of src into dst. Both must have length Size();
+// dst and src may be the same slice. Bit-identical to FFT(src).
+func (p *FFTPlan) Forward(dst, src []complex128) {
+	if p.t.n == 0 {
+		return
+	}
+	p.t.transform(dst, src, p.scratch, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, normalized by 1/N so
+// that Inverse∘Forward is the identity. Bit-identical to IFFT(src).
+func (p *FFTPlan) Inverse(dst, src []complex128) {
+	n := p.t.n
+	if n == 0 {
+		return
+	}
+	p.t.transform(dst, src, p.scratch, true)
+	nn := complex(float64(n), 0)
+	for i := range dst {
+		dst[i] /= nn
+	}
+}

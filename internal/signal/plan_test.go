@@ -1,0 +1,338 @@
+package signal
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"testing"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// This file pins the numerical contract of the plan/scratch layer: the
+// table-driven transforms must be BIT-IDENTICAL to the historical free
+// implementations (reproduced verbatim below as ref*), and the FFT-based
+// autocorrelation must agree with the direct summation to well under the
+// margins any detection threshold uses. Fixed-seed experiment outputs
+// depend on this.
+
+// refDFT/refRadix2/refBluestein are the pre-plan implementations, kept
+// verbatim as the reference oracle.
+func refDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		refRadix2(out, inverse)
+		return out
+	}
+	return refBluestein(x, inverse)
+}
+
+func refRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+func refBluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(k2)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	refRadix2(a, false)
+	refRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	refRadix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+func refIFFT(x []complex128) []complex128 {
+	out := refDFT(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// testSizes covers powers of two, odd primes, and composite non-powers —
+// both Bluestein and radix-2 paths at several table depths.
+var testSizes = []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 30, 34, 64, 100, 128, 255, 256, 300, 750, 1024}
+
+func randomComplex(n int, r *randx.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Normal(0, 1), r.Normal(0, 1))
+	}
+	return x
+}
+
+func TestFFTBitIdenticalToReference(t *testing.T) {
+	r := randx.New(11, 7)
+	for _, n := range testSizes {
+		x := randomComplex(n, r)
+		got, want := FFT(x), refDFT(x, false)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("FFT n=%d bin %d: got %v, reference %v", n, k, got[k], want[k])
+			}
+		}
+		gotI, wantI := IFFT(x), refIFFT(x)
+		for k := range wantI {
+			if gotI[k] != wantI[k] {
+				t.Fatalf("IFFT n=%d bin %d: got %v, reference %v", n, k, gotI[k], wantI[k])
+			}
+		}
+	}
+}
+
+func TestFFTPlanBitIdenticalToFreeFunctions(t *testing.T) {
+	r := randx.New(12, 7)
+	for _, n := range testSizes {
+		p := NewFFTPlan(n)
+		if p.Size() != n {
+			t.Fatalf("plan size %d, want %d", p.Size(), n)
+		}
+		x := randomComplex(n, r)
+		dst := make([]complex128, n)
+
+		p.Forward(dst, x)
+		want := FFT(x)
+		for k := range want {
+			if dst[k] != want[k] {
+				t.Fatalf("Forward n=%d bin %d: got %v, want %v", n, k, dst[k], want[k])
+			}
+		}
+
+		// In place: dst and src the same slice.
+		inPlace := append([]complex128(nil), x...)
+		p.Forward(inPlace, inPlace)
+		for k := range want {
+			if inPlace[k] != want[k] {
+				t.Fatalf("in-place Forward n=%d bin %d: got %v, want %v", n, k, inPlace[k], want[k])
+			}
+		}
+
+		p.Inverse(dst, x)
+		wantI := IFFT(x)
+		for k := range wantI {
+			if dst[k] != wantI[k] {
+				t.Fatalf("Inverse n=%d bin %d: got %v, want %v", n, k, dst[k], wantI[k])
+			}
+		}
+	}
+}
+
+func TestFFTPlanRoundTrip(t *testing.T) {
+	r := randx.New(13, 7)
+	for _, n := range []int{8, 34, 100, 256} {
+		p := NewFFTPlan(n)
+		x := randomComplex(n, r)
+		fwd := make([]complex128, n)
+		back := make([]complex128, n)
+		p.Forward(fwd, x)
+		p.Inverse(back, fwd)
+		for k := range x {
+			if cmplx.Abs(back[k]-x[k]) > 1e-9 {
+				t.Fatalf("round trip n=%d index %d: got %v, want %v", n, k, back[k], x[k])
+			}
+		}
+	}
+}
+
+func TestPeriodogramBitIdenticalToReference(t *testing.T) {
+	r := randx.New(14, 7)
+	for _, n := range []int{8, 34, 100, 256, 750} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+		}
+		// Reference: demean, full DFT via the reference implementation,
+		// |X_k|^2/n — exactly what the historical Periodogram computed.
+		mean := 0.0
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v-mean, 0)
+		}
+		X := refDFT(cx, false)
+		got := Periodogram(x)
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: periodogram length %d, want %d", n, len(got), n/2+1)
+		}
+		for k := range got {
+			re, im := real(X[k]), imag(X[k])
+			want := (re*re + im*im) / float64(n)
+			if got[k] != want {
+				t.Fatalf("periodogram n=%d bin %d: got %v, want %v", n, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestFFTACFMatchesDirect(t *testing.T) {
+	r := randx.New(15, 7)
+	e := NewPeriodEstimator()
+	// Sizes large enough that n·maxLag exceeds acfFFTThreshold, forcing the
+	// Wiener–Khinchin path; compare against the direct summation.
+	for _, n := range []int{200, 500, 1000, 2048} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/34) + r.Normal(0, 0.3)
+		}
+		maxLag := n / 2
+		if n*maxLag <= acfFFTThreshold {
+			t.Fatalf("n=%d does not exercise the FFT path; fix the test sizes", n)
+		}
+		got := make([]float64, maxLag+1)
+		e.acfInto(got, x, maxLag)
+		want := ACF(x, maxLag)
+		for lag := range want {
+			if math.Abs(got[lag]-want[lag]) > 1e-9 {
+				t.Fatalf("n=%d lag %d: FFT ACF %v, direct %v", n, lag, got[lag], want[lag])
+			}
+		}
+	}
+}
+
+func TestFFTACFConstantSeries(t *testing.T) {
+	e := NewPeriodEstimator()
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 3.5
+	}
+	out := make([]float64, 501)
+	e.acfInto(out, x, 500)
+	if out[0] != 1 {
+		t.Fatalf("lag 0: got %v, want 1", out[0])
+	}
+	for lag := 1; lag <= 500; lag++ {
+		if out[lag] != 0 {
+			t.Fatalf("lag %d: got %v, want 0", lag, out[lag])
+		}
+	}
+}
+
+func TestPeriodEstimatorMatchesEstimatePeriod(t *testing.T) {
+	r := randx.New(16, 7)
+	e := NewPeriodEstimator()
+	for trial := 0; trial < 50; trial++ {
+		period := 5 + int(r.Uniform(0, 40))
+		n := period * (4 + int(r.Uniform(0, 8)))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + r.Normal(0, 0.4)
+		}
+		var opts PeriodOptions
+		want, wantOK := EstimatePeriod(x, opts)
+		got, gotOK := e.Estimate(x, opts)
+		if gotOK != wantOK || got.Period != want.Period || got.Power != want.Power {
+			t.Fatalf("trial %d (n=%d, period=%d): estimator (%+v, %v) != free function (%+v, %v)",
+				trial, n, period, got, gotOK, want, wantOK)
+		}
+		if len(got.Candidates) != len(want.Candidates) {
+			t.Fatalf("trial %d: candidate count %d != %d", trial, len(got.Candidates), len(want.Candidates))
+		}
+		for i := range want.Candidates {
+			if got.Candidates[i] != want.Candidates[i] {
+				t.Fatalf("trial %d candidate %d: %d != %d", trial, i, got.Candidates[i], want.Candidates[i])
+			}
+		}
+	}
+}
+
+func TestPeriodEstimatorEstimateZeroAlloc(t *testing.T) {
+	r := randx.New(17, 7)
+	n := 68 // SDS/P's W_P = 2p for the FaceNet-like period 34
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/34) + r.Normal(0, 0.2)
+	}
+	e := NewPeriodEstimator()
+	opts := PeriodOptions{MinPeriod: 11, MaxPeriod: n / 2}
+	e.Estimate(x, opts) // warm up plans and scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Estimate(x, opts)
+	})
+	if allocs != 0 {
+		t.Fatalf("PeriodEstimator.Estimate allocated %.1f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestPeriodEstimatorEstimateZeroAllocFFTACF(t *testing.T) {
+	r := randx.New(18, 7)
+	n := 1024 // large enough for the Wiener–Khinchin ACF path
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/64) + r.Normal(0, 0.2)
+	}
+	e := NewPeriodEstimator()
+	var opts PeriodOptions
+	e.Estimate(x, opts)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Estimate(x, opts)
+	})
+	if allocs != 0 {
+		t.Fatalf("Estimate (FFT-ACF path) allocated %.1f allocs/op in steady state, want 0", allocs)
+	}
+}

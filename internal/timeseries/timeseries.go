@@ -48,7 +48,11 @@ func (m *MovingAverager) Push(x float64) (float64, bool) {
 		m.sum -= m.buf[m.next]
 	}
 	m.buf[m.next] = x
-	m.next = (m.next + 1) % m.w
+	// Conditional wrap: integer division is measurably slower than a
+	// predictable branch on this per-sample path.
+	if m.next++; m.next == m.w {
+		m.next = 0
+	}
 	m.sum += x
 	m.count++
 	if m.count < m.w {
@@ -117,7 +121,11 @@ func MovingAverage(data []float64, w, dw int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One emission when the window fills, then one per dw samples.
 	var out []float64
+	if n := len(data); n >= w {
+		out = make([]float64, 0, 1+(n-w)/dw)
+	}
 	for _, x := range data {
 		if v, ok := m.Push(x); ok {
 			out = append(out, v)

@@ -133,6 +133,12 @@ type Model struct {
 	burstSign  float64
 	cyclePos   float64 // ideal position within the periodic cycle
 	phaseNoise float64 // OU phase offset, in cycles
+
+	// Per-sample precomputation: the lognormal noise parameters depend only
+	// on the profile, and the OU decay terms only on dt (constant across a
+	// run), so neither is recomputed inside Sample.
+	accessNoise, missNoise randx.Noise
+	ouDt, ouDecay, ouSigma float64
 }
 
 // NewModel returns a telemetry model for the profile, drawing randomness
@@ -144,7 +150,12 @@ func NewModel(prof Profile, rng *randx.Rand) (*Model, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("workload: %s: nil rng", prof.Name)
 	}
-	m := &Model{prof: prof, rng: rng}
+	m := &Model{
+		prof:        prof,
+		rng:         rng,
+		accessNoise: randx.NewNoise(prof.AccessCV),
+		missNoise:   randx.NewNoise(prof.MissCV),
+	}
 	if prof.PhaseDelta > 0 {
 		m.phaseHigh = rng.Bool(0.5)
 		m.phaseUntil = m.phaseDuration()
@@ -202,17 +213,24 @@ func (m *Model) Sample(dt float64, env Env) (access, miss float64) {
 	// batch-processing ramps of PCA/FaceNet.
 	wave := 0.0
 	if p.Periodic {
-		intensity := math.Max(env.BusLock, env.Cleanse)
+		intensity := env.BusLock
+		if env.Cleanse > intensity {
+			intensity = env.Cleanse
+		}
 		period := p.PeriodSec * (1 + p.PeriodStretch*intensity)
 		m.cyclePos += dt / period
 		m.cyclePos -= math.Floor(m.cyclePos)
 		if p.PeriodJitter > 0 {
 			// Ornstein–Uhlenbeck phase noise with a ~10 s relaxation time:
-			// bounded cycle-to-cycle desynchronization, sharp spectrum.
-			const tau = 10.0
-			decay := math.Exp(-dt / tau)
-			m.phaseNoise = m.phaseNoise*decay +
-				m.rng.Normal(0, p.PeriodJitter*math.Sqrt(1-decay*decay))
+			// bounded cycle-to-cycle desynchronization, sharp spectrum. The
+			// decay terms depend only on dt, which is constant across a run.
+			if dt != m.ouDt {
+				const tau = 10.0
+				m.ouDt = dt
+				m.ouDecay = math.Exp(-dt / tau)
+				m.ouSigma = p.PeriodJitter * math.Sqrt(1-m.ouDecay*m.ouDecay)
+			}
+			m.phaseNoise = m.phaseNoise*m.ouDecay + m.rng.Normal(0, m.ouSigma)
 		}
 		pos := m.cyclePos + m.phaseNoise
 		pos -= math.Floor(pos)
@@ -235,7 +253,7 @@ func (m *Model) Sample(dt float64, env Env) (access, miss float64) {
 		}
 	}
 
-	access = p.BaseAccess * (level + wave + burst) * m.rng.NoiseFactor(p.AccessCV)
+	access = p.BaseAccess * (level + wave + burst) * m.accessNoise.Factor(m.rng)
 	if env.Quiesced {
 		// Background contention from the lightly-loaded co-located VMs
 		// disappears while they are throttled. The effect is small —
@@ -258,7 +276,7 @@ func (m *Model) Sample(dt float64, env Env) (access, miss float64) {
 	if env.Quiesced {
 		missRatio *= 0.995
 	}
-	miss = access * missRatio * m.rng.NoiseFactor(p.MissCV)
+	miss = access * missRatio * m.missNoise.Factor(m.rng)
 	// Cleansing evicts the VM's lines: MissNum inflates (Observation 1,
 	// cleansing half) while AccessNum is largely unaffected.
 	if env.Cleanse > 0 {
