@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all cover verify repro clean
+.PHONY: all build test race vet bench bench-all cover verify repro smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -46,6 +46,18 @@ repro:
 	$(GO) run ./cmd/measure -all -intervals 20
 	$(GO) run ./cmd/evaluate -all -runs 20 -parallel 0
 	$(GO) run ./cmd/sensitivity -all -runs 10 -parallel 0
+
+# End-to-end smoke of the sdsd deployment path: launch the server, replay
+# attacked VM streams at it with sdsload, assert zero loss + alarms + drain.
+smoke:
+	./scripts/smoke_sdsd.sh
+
+# Short fuzz pass over the feed parser (one run per target: go test -fuzz
+# accepts a single match).
+fuzz-smoke:
+	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzParseLine -fuzztime=5s
+	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzReader -fuzztime=5s
+	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzRoundTrip -fuzztime=5s
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

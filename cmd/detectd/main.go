@@ -1,7 +1,10 @@
 // Command detectd runs a detection scheme over a PCM counter stream read
-// from stdin — the deployment shape of the paper's system: a
+// from stdin — the single-VM deployment shape of the paper's system: a
 // hypervisor-side process consuming `t,access,miss` CSV lines (easily
 // produced from Intel PCM or a perf wrapper) and emitting alarm events.
+// For many VMs at once, see cmd/sdsd, which serves the same lifecycle
+// per connection; detectd is a thin stdin wrapper over that shared
+// ingest code (internal/server.Session).
 //
 // The first -profile-seconds of the stream serve as the Stage-1 profile
 // (the VM must be known attack-free during that window, e.g. right after
@@ -26,9 +29,8 @@ import (
 	"os"
 
 	"github.com/memdos/sds"
-	"github.com/memdos/sds/internal/detect"
 	"github.com/memdos/sds/internal/feed"
-	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/server"
 )
 
 func main() {
@@ -56,71 +58,40 @@ func main() {
 
 // runRecord writes a simulated telemetry stream to stdout in feed format.
 func runRecord(app string, seconds, attackAt float64, seed uint64) error {
-	model, err := sds.NewApplication(app, seed)
-	if err != nil {
-		return err
-	}
-	sched := sds.AttackSchedule{}
-	if attackAt > 0 {
-		sched = sds.AttackSchedule{Kind: sds.BusLockAttack, Start: attackAt, Ramp: 10}
-	}
-	w := feed.NewWriter(os.Stdout)
-	cfg := sds.DefaultConfig()
-	n := sds.SampleCount(seconds, cfg.TPCM)
-	for i := 0; i < n; i++ {
-		now := float64(i+1) * cfg.TPCM
-		a, m := model.Sample(cfg.TPCM, sched.Env(now, false))
-		if err := w.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
-			return err
-		}
-	}
-	return w.Flush()
+	_, err := server.WriteSimulatedStream(os.Stdout, server.ReplaySpec{
+		App:      app,
+		Seconds:  seconds,
+		AttackAt: attackAt,
+		Seed:     seed,
+	})
+	return err
 }
 
-// runDetect profiles on the stream head and detects over the rest.
+// runDetect profiles on the stream head and detects over the rest. It is a
+// stdin front-end over the same Session lifecycle sdsd runs per connection.
 func runDetect(in io.Reader, out io.Writer, scheme, app string, profileSeconds float64, jsonOut bool) error {
-	if profileSeconds <= 0 {
-		return fmt.Errorf("profile window must be positive, got %v", profileSeconds)
-	}
-	cfg := sds.DefaultConfig()
-	reader := feed.NewReader(in)
-
-	// Stage 1: accumulate the profile window.
-	var profileSamples []sds.Sample
-	var cutoff float64
-	for {
-		s, err := reader.Next()
-		if err == io.EOF {
-			return fmt.Errorf("stream ended during the %g s profiling window (%d samples)", profileSeconds, len(profileSamples))
-		}
-		if err != nil {
-			return err
-		}
-		if len(profileSamples) == 0 {
-			cutoff = s.T + profileSeconds
-		}
-		profileSamples = append(profileSamples, s)
-		if s.T >= cutoff {
-			break
-		}
-	}
-	profile, err := sds.BuildProfile(app, profileSamples, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "detectd: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)\n",
-		app, len(profileSamples), profile.MeanAccess, profile.StdAccess, profile.Periodic)
-
-	det, err := buildDetector(scheme, profile, cfg)
-	if err != nil {
-		return err
-	}
-	guard := detect.NewSanitizer(det)
-
-	// Stage 2: stream detection.
 	enc := json.NewEncoder(out)
-	seen := 0
-	emitted := 0
+	sess, err := server.NewSession(server.StreamSpec{
+		VM:             "stdin",
+		App:            app,
+		Scheme:         scheme,
+		ProfileSeconds: profileSeconds,
+		OnProfile: func(p sds.Profile, n int) {
+			fmt.Fprintf(os.Stderr, "detectd: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)\n",
+				app, n, p.MeanAccess, p.StdAccess, p.Periodic)
+		},
+		OnAlarm: func(a sds.Alarm) error {
+			if jsonOut {
+				return enc.Encode(server.NewAlarmEvent(a))
+			}
+			_, err := fmt.Fprintf(out, "[%10.2fs] ALARM %s (%s): %s\n", a.T, a.Detector, a.Metric, a.Reason)
+			return err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	reader := feed.NewReader(in)
 	for {
 		s, err := reader.Next()
 		if err == io.EOF {
@@ -129,48 +100,15 @@ func runDetect(in io.Reader, out io.Writer, scheme, app string, profileSeconds f
 		if err != nil {
 			return err
 		}
-		seen++
-		guard.Observe(s)
-		for _, alarm := range guard.Alarms()[emitted:] {
-			emitted++
-			if jsonOut {
-				if err := enc.Encode(alarmEvent{
-					T:        alarm.T,
-					Detector: alarm.Detector,
-					Metric:   alarm.Metric.String(),
-					Reason:   alarm.Reason,
-				}); err != nil {
-					return err
-				}
-			} else {
-				fmt.Fprintf(out, "[%10.2fs] ALARM %s (%s): %s\n", alarm.T, alarm.Detector, alarm.Metric, alarm.Reason)
-			}
+		if err := sess.Observe(s); err != nil {
+			return err
 		}
+	}
+	stats, err := sess.Close()
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "detectd: %d samples monitored, %d dropped as malformed, %d alarms, final state alarmed=%v\n",
-		seen, guard.Dropped(), emitted, guard.Alarmed())
+		stats.Monitored, stats.Dropped, stats.Alarms, stats.Alarmed)
 	return nil
-}
-
-// alarmEvent is the JSON wire format of one alarm.
-type alarmEvent struct {
-	T        float64 `json:"t"`
-	Detector string  `json:"detector"`
-	Metric   string  `json:"metric"`
-	Reason   string  `json:"reason"`
-}
-
-func buildDetector(scheme string, profile sds.Profile, cfg sds.Config) (sds.Detector, error) {
-	switch scheme {
-	case "sds":
-		return sds.NewSDS(profile, cfg)
-	case "sdsb":
-		return sds.NewSDSB(profile, cfg)
-	case "sdsp":
-		return sds.NewSDSP(profile, cfg)
-	case "kstest":
-		return sds.NewKSTest(sds.DefaultKSTestConfig(), nil)
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp or kstest)", scheme)
-	}
 }

@@ -4,35 +4,27 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net"
 	"strings"
 	"testing"
 
 	"github.com/memdos/sds"
-	"github.com/memdos/sds/internal/feed"
-	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/server"
 )
 
-// recordStream builds an in-memory CSV stream: profileSeconds attack-free,
-// then an attack until the end.
+// recordStream builds an in-memory CSV stream: attack-free until attackAt,
+// then a bus-locking attack until the end. It uses the same replay path as
+// `detectd -record`.
 func recordStream(t *testing.T, app string, seconds, attackAt float64) *bytes.Buffer {
 	t.Helper()
-	model, err := sds.NewApplication(app, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sched := sds.AttackSchedule{Kind: sds.BusLockAttack, Start: attackAt, Ramp: 10}
 	var buf bytes.Buffer
-	w := feed.NewWriter(&buf)
-	cfg := sds.DefaultConfig()
-	n := int(seconds / cfg.TPCM)
-	for i := 0; i < n; i++ {
-		now := float64(i+1) * cfg.TPCM
-		a, m := model.Sample(cfg.TPCM, sched.Env(now, false))
-		if err := w.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if _, err := server.WriteSimulatedStream(&buf, server.ReplaySpec{
+		App:      app,
+		Seconds:  seconds,
+		AttackAt: attackAt,
+		Seed:     7,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	return &buf
@@ -59,7 +51,7 @@ func TestRunDetectJSONOutput(t *testing.T) {
 	sc := bufio.NewScanner(&out)
 	attackEvents := 0
 	for sc.Scan() {
-		var ev alarmEvent
+		var ev server.AlarmEvent
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
 		}
@@ -90,18 +82,92 @@ func TestRunDetectErrors(t *testing.T) {
 	}
 }
 
-func TestBuildDetectorSchemes(t *testing.T) {
-	cfg := sds.DefaultConfig()
-	prof, err := sds.CollectProfile(sds.FaceNet, 1, 900, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestRunDetectAllSchemes: every scheme profiles and monitors a recorded
+// stream end to end through the shared session path.
+func TestRunDetectAllSchemes(t *testing.T) {
 	for _, scheme := range []string{"sds", "sdsb", "sdsp", "kstest"} {
-		if _, err := buildDetector(scheme, prof, cfg); err != nil {
+		in := recordStream(t, sds.FaceNet, 100, 0)
+		if err := runDetect(in, &bytes.Buffer{}, scheme, sds.FaceNet, 60, false); err != nil {
 			t.Errorf("scheme %s: %v", scheme, err)
 		}
 	}
-	if _, err := buildDetector("nope", prof, cfg); err == nil {
-		t.Error("unknown scheme accepted")
+}
+
+// TestDetectdMatchesServer is the equivalence acceptance check: the same
+// recorded stream, run through detectd's stdin loop and through a sdsd-style
+// TCP stream, must yield the same alarms (times, detectors, reasons).
+func TestDetectdMatchesServer(t *testing.T) {
+	stream := recordStream(t, sds.KMeans, 300, 150)
+	const profileSeconds = 100.0
+
+	// detectd path: stdin loop with -json output.
+	var out bytes.Buffer
+	if err := runDetect(bytes.NewReader(stream.Bytes()), &out, "sds", sds.KMeans, profileSeconds, true); err != nil {
+		t.Fatal(err)
+	}
+	var local []server.AlarmEvent
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		var ev server.AlarmEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		local = append(local, ev)
+	}
+	if len(local) == 0 {
+		t.Fatal("detectd raised no alarms on the attacked stream")
+	}
+
+	// Server path: the same bytes over a TCP stream connection.
+	srv := server.New(server.Options{App: sds.KMeans, ProfileSeconds: profileSeconds})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer l.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var remote []server.AlarmEvent
+	respDone := make(chan error, 1)
+	go func() {
+		rsc := bufio.NewScanner(conn)
+		rsc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for rsc.Scan() {
+			line := rsc.Text()
+			switch {
+			case strings.HasPrefix(line, "alarm "):
+				var ev server.AlarmEvent
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "alarm ")), &ev); err != nil {
+					respDone <- err
+					return
+				}
+				remote = append(remote, ev)
+			case strings.HasPrefix(line, "error: "):
+				respDone <- fmt.Errorf("server: %s", line)
+				return
+			}
+		}
+		respDone <- rsc.Err()
+	}()
+	fmt.Fprintf(conn, "sds/1 vm=equiv scheme=sds profile=%g\n", profileSeconds)
+	if _, err := conn.Write(stream.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	if err := <-respDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote) != len(local) {
+		t.Fatalf("server raised %d alarms, detectd %d", len(remote), len(local))
+	}
+	for i := range local {
+		if local[i] != remote[i] {
+			t.Errorf("alarm %d differs: detectd %+v, server %+v", i, local[i], remote[i])
+		}
 	}
 }

@@ -1,0 +1,125 @@
+// Command sdsd is the concurrent multi-VM detection server — the paper's
+// provider-side deployment (§4): one SDS instance per physical server,
+// monitoring every co-resident VM's PCM counter stream at once.
+//
+// Each protected VM (or its telemetry agent) opens one connection, sends
+// the handshake line
+//
+//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest>] [profile=<seconds>]
+//
+// and then streams `t,access,miss` CSV lines. The server runs the
+// profile→detect lifecycle per stream and answers on the same connection
+// with `ok`, `alarm {json}` and `done` lines. Operational state is served
+// over HTTP at -ops: GET /healthz and GET /metricsz.
+//
+//	# serve TCP streams, ops surface on :7032
+//	sdsd -listen 127.0.0.1:7031 -ops 127.0.0.1:7032
+//
+//	# stream a recorded file at it
+//	(echo "sds/1 vm=web-1 app=kmeans profile=60"; cat samples.csv) | nc 127.0.0.1 7031
+//
+// SIGINT/SIGTERM trigger a graceful drain: listeners close, buffered
+// samples are processed, every client receives its `done` summary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/memdos/sds/internal/server"
+)
+
+func main() {
+	var (
+		listen         = flag.String("listen", "127.0.0.1:7031", "TCP address for VM sample streams (empty to disable)")
+		unixPath       = flag.String("unix", "", "unix socket path for VM sample streams (empty to disable)")
+		ops            = flag.String("ops", "127.0.0.1:7032", "HTTP address for /healthz and /metricsz (empty to disable)")
+		scheme         = flag.String("scheme", "sds", "default detection scheme: sds, sdsb, sdsp or kstest")
+		app            = flag.String("app", "monitored-vm", "default application name for profiles")
+		profileSeconds = flag.Float64("profile-seconds", 900, "default Stage-1 profile window in stream seconds")
+		buffer         = flag.Int("buffer", 1024, "per-connection sample buffer (full buffer backpressures the client)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown drain may take before connections are force-closed")
+	)
+	flag.Parse()
+	if err := run(*listen, *unixPath, *ops, *scheme, *app, *profileSeconds, *buffer, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, unixPath, ops, scheme, app string, profileSeconds float64, buffer int, drainTimeout time.Duration) error {
+	if listen == "" && unixPath == "" {
+		return fmt.Errorf("need at least one stream listener (-listen or -unix)")
+	}
+	srv := server.New(server.Options{
+		Scheme:         scheme,
+		App:            app,
+		ProfileSeconds: profileSeconds,
+		BufferSamples:  buffer,
+		Logf:           log.Printf,
+	})
+
+	serveErr := make(chan error, 3)
+	if listen != "" {
+		l, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		log.Printf("sdsd: streaming on tcp %s", l.Addr())
+		go func() { serveErr <- srv.Serve(l) }()
+	}
+	if unixPath != "" {
+		// A stale socket file from a previous run blocks the bind.
+		os.Remove(unixPath)
+		l, err := net.Listen("unix", unixPath)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(unixPath)
+		log.Printf("sdsd: streaming on unix %s", unixPath)
+		go func() { serveErr <- srv.Serve(l) }()
+	}
+	var opsSrv *http.Server
+	if ops != "" {
+		l, err := net.Listen("tcp", ops)
+		if err != nil {
+			return err
+		}
+		log.Printf("sdsd: ops surface on http://%s", l.Addr())
+		opsSrv = &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := opsSrv.Serve(l); err != nil && err != http.ErrServerClosed {
+				serveErr <- err
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("sdsd: %v, draining (timeout %s)", s, drainTimeout)
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
+	m := srv.Metrics()
+	log.Printf("sdsd: drained (%d samples, %d alarms over %d VMs)", m.TotalSamples, m.TotalAlarms, len(m.VMs))
+	return err
+}

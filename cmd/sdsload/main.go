@@ -1,0 +1,193 @@
+// Command sdsload replays N simulated VM telemetry streams against a
+// running sdsd and reports aggregate throughput — a load generator and
+// smoke-test client in one.
+//
+// Each simulated VM reuses the `detectd -record` replay path (same app
+// models, same attack schedules, deterministic per-VM seeds), so a given
+// flag set always produces the same streams. With -attack-at every VM
+// comes under attack mid-stream and -expect-alarms turns the run into an
+// assertion: the exit status is non-zero when any stream loses samples or
+// raises fewer alarms than expected.
+//
+//	# 32 clean VM streams
+//	sdsload -addr 127.0.0.1:7031 -vms 32 -seconds 120 -profile-seconds 60
+//
+//	# attacked streams; fail unless every VM alarms
+//	sdsload -addr 127.0.0.1:7031 -vms 8 -seconds 180 -profile-seconds 60 \
+//	        -attack-at 120 -expect-alarms 1
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/memdos/sds/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:7031", "sdsd stream address")
+		network        = flag.String("network", "tcp", "stream network: tcp or unix")
+		vms            = flag.Int("vms", 8, "number of concurrent VM streams")
+		seconds        = flag.Float64("seconds", 120, "virtual seconds of telemetry per VM")
+		profileSeconds = flag.Float64("profile-seconds", 60, "Stage-1 profile window sent in the handshake")
+		app            = flag.String("app", "kmeans", "application model for the simulated VMs")
+		scheme         = flag.String("scheme", "sds", "detection scheme sent in the handshake")
+		attackAt       = flag.Float64("attack-at", 0, "start a bus-locking attack at this stream time (0 = none)")
+		seed           = flag.Uint64("seed", 1, "base seed; VM i streams with seed+i")
+		expectAlarms   = flag.Int("expect-alarms", 0, "fail unless every VM raises at least this many alarms")
+		retries        = flag.Int("connect-retries", 10, "connection attempts per VM (100ms apart) before giving up")
+	)
+	flag.Parse()
+	if err := run(*addr, *network, *app, *scheme, *vms, *seconds, *profileSeconds, *attackAt, *seed, *expectAlarms, *retries); err != nil {
+		fmt.Fprintln(os.Stderr, "sdsload:", err)
+		os.Exit(1)
+	}
+}
+
+// vmResult is one stream's outcome.
+type vmResult struct {
+	vm      string
+	sent    int
+	samples int // samples the server accounted for in its done line
+	alarms  int
+	err     error
+}
+
+func run(addr, network, app, scheme string, vms int, seconds, profileSeconds, attackAt float64, seed uint64, expectAlarms, retries int) error {
+	if vms <= 0 {
+		return fmt.Errorf("need at least one VM stream, got %d", vms)
+	}
+	results := make([]vmResult, vms)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < vms; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vm := fmt.Sprintf("load-%03d", i)
+			results[i] = streamVM(addr, network, vm, app, scheme, seconds, profileSeconds, attackAt, seed+uint64(i), retries)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, alarms, failures int
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "sdsload: %s: %v\n", r.vm, r.err)
+		case r.samples != r.sent:
+			failures++
+			fmt.Fprintf(os.Stderr, "sdsload: %s: sent %d samples, server accounted %d — samples lost\n", r.vm, r.sent, r.samples)
+		case r.alarms < expectAlarms:
+			failures++
+			fmt.Fprintf(os.Stderr, "sdsload: %s: %d alarms, expected at least %d\n", r.vm, r.alarms, expectAlarms)
+		}
+		total += r.samples
+		alarms += r.alarms
+	}
+	fmt.Printf("sdsload: %d VMs, %d samples in %.2fs (%.0f samples/sec), %d alarms\n",
+		vms, total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), alarms)
+	if failures > 0 {
+		return fmt.Errorf("%d of %d streams failed", failures, vms)
+	}
+	return nil
+}
+
+// streamVM runs one VM's full stream lifecycle against the server.
+func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, attackAt float64, seed uint64, retries int) vmResult {
+	res := vmResult{vm: vm}
+	conn, err := dialRetry(network, addr, retries)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer conn.Close()
+
+	// The server streams alarm lines inline, so read concurrently with the
+	// write — an unread response buffer would backpressure our own stream.
+	type doneInfo struct {
+		samples int
+		err     error
+	}
+	resp := make(chan doneInfo, 1)
+	alarmCount := make(chan int, 1)
+	go func() {
+		alarms := 0
+		var d doneInfo
+		d.samples = -1
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "alarm "):
+				alarms++
+			case strings.HasPrefix(line, "error: "):
+				d.err = fmt.Errorf("server: %s", strings.TrimPrefix(line, "error: "))
+			case strings.HasPrefix(line, "done "):
+				for _, f := range strings.Fields(line)[1:] {
+					if v, ok := strings.CutPrefix(f, "samples="); ok {
+						d.samples, _ = strconv.Atoi(v)
+					}
+				}
+			}
+		}
+		if d.err == nil {
+			d.err = sc.Err()
+		}
+		alarmCount <- alarms
+		resp <- d
+	}()
+
+	if _, err := fmt.Fprintf(conn, "sds/1 vm=%s app=%s scheme=%s profile=%g\n", vm, app, scheme, profileSeconds); err != nil {
+		res.err = err
+		return res
+	}
+	n, err := server.WriteSimulatedStream(conn, server.ReplaySpec{
+		App:      app,
+		Seconds:  seconds,
+		AttackAt: attackAt,
+		Seed:     seed,
+	})
+	if err != nil {
+		res.err = fmt.Errorf("streaming: %w", err)
+		return res
+	}
+	res.sent = n
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	res.alarms = <-alarmCount
+	d := <-resp
+	res.samples = d.samples
+	if d.err != nil {
+		res.err = d.err
+	} else if d.samples < 0 {
+		res.err = fmt.Errorf("connection closed without a done line")
+	}
+	return res
+}
+
+// dialRetry connects with retries so sdsload can start before sdsd's
+// listener is up (the smoke test launches both at once).
+func dialRetry(network, addr string, retries int) (net.Conn, error) {
+	var err error
+	for i := 0; i < retries; i++ {
+		var conn net.Conn
+		if conn, err = net.Dial(network, addr); err == nil {
+			return conn, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("connecting to %s %s: %w", network, addr, err)
+}

@@ -3,6 +3,7 @@ package detect
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/memdos/sds/internal/pcm"
 )
@@ -12,13 +13,28 @@ import (
 // hypervisor on each server by the provider"). One PCM pass per sampling
 // interval feeds each VM's sample to its own detector; the fleet exposes
 // the aggregate alarm state the provider's control plane consumes.
+//
+// A Fleet is safe for concurrent use: the registry is guarded by an RWMutex
+// and every detector call is serialized through a per-VM mutex, so one
+// connection goroutine per VM can Observe while others Protect, Unprotect,
+// or read aggregate alarm state. Samples for a single VM must still arrive
+// in time order (one feeding goroutine per VM, the natural shape of a
+// per-connection server).
 type Fleet struct {
-	detectors map[string]Detector
+	mu        sync.RWMutex
+	detectors map[string]*fleetEntry
+}
+
+// fleetEntry serializes all access to one VM's detector. The entry lock is
+// held across inner Detector calls; detectors themselves need no locking.
+type fleetEntry struct {
+	mu  sync.Mutex
+	det Detector
 }
 
 // NewFleet returns an empty fleet.
 func NewFleet() *Fleet {
-	return &Fleet{detectors: make(map[string]Detector)}
+	return &Fleet{detectors: make(map[string]*fleetEntry)}
 }
 
 // Protect registers a detector for the named VM. Re-registering a name
@@ -30,34 +46,99 @@ func (f *Fleet) Protect(vm string, det Detector) error {
 	if det == nil {
 		return fmt.Errorf("detect: fleet needs a detector for %q", vm)
 	}
-	f.detectors[vm] = det
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.detectors[vm]; ok {
+		// Swap under the entry lock so an in-flight Observe completes
+		// against the old detector before the replacement is visible.
+		e.mu.Lock()
+		e.det = det
+		e.mu.Unlock()
+		return nil
+	}
+	f.detectors[vm] = &fleetEntry{det: det}
 	return nil
 }
 
 // Unprotect removes the named VM (idempotent) — e.g. after migration off
 // this server.
 func (f *Fleet) Unprotect(vm string) {
+	f.mu.Lock()
 	delete(f.detectors, vm)
+	f.mu.Unlock()
 }
 
 // Size returns the number of protected VMs.
-func (f *Fleet) Size() int { return len(f.detectors) }
+func (f *Fleet) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.detectors)
+}
+
+// entry returns the named VM's entry, or nil.
+func (f *Fleet) entry(vm string) *fleetEntry {
+	f.mu.RLock()
+	e := f.detectors[vm]
+	f.mu.RUnlock()
+	return e
+}
 
 // Observe feeds one VM's PCM sample to its detector. Unknown VMs are an
 // error: the caller's wiring is broken, not the data.
 func (f *Fleet) Observe(vm string, s pcm.Sample) error {
-	det, ok := f.detectors[vm]
-	if !ok {
+	e := f.entry(vm)
+	if e == nil {
 		return fmt.Errorf("detect: fleet does not protect %q", vm)
 	}
-	det.Observe(s)
+	e.mu.Lock()
+	e.det.Observe(s)
+	e.mu.Unlock()
 	return nil
+}
+
+// VMAlarmed reports the named VM's current alarm state.
+func (f *Fleet) VMAlarmed(vm string) (bool, error) {
+	e := f.entry(vm)
+	if e == nil {
+		return false, fmt.Errorf("detect: fleet does not protect %q", vm)
+	}
+	e.mu.Lock()
+	alarmed := e.det.Alarmed()
+	e.mu.Unlock()
+	return alarmed, nil
+}
+
+// VMAlarms returns a copy of the named VM's alarms so far.
+func (f *Fleet) VMAlarms(vm string) ([]Alarm, error) {
+	e := f.entry(vm)
+	if e == nil {
+		return nil, fmt.Errorf("detect: fleet does not protect %q", vm)
+	}
+	e.mu.Lock()
+	alarms := e.det.Alarms()
+	e.mu.Unlock()
+	return alarms, nil
+}
+
+// snapshot returns the current (vm, entry) pairs without holding the
+// registry lock across detector calls.
+func (f *Fleet) snapshot() map[string]*fleetEntry {
+	f.mu.RLock()
+	out := make(map[string]*fleetEntry, len(f.detectors))
+	for vm, e := range f.detectors {
+		out[vm] = e
+	}
+	f.mu.RUnlock()
+	return out
 }
 
 // Alarmed reports whether any protected VM is currently alarmed.
 func (f *Fleet) Alarmed() bool {
-	for _, det := range f.detectors {
-		if det.Alarmed() {
+	for _, e := range f.snapshot() {
+		e.mu.Lock()
+		alarmed := e.det.Alarmed()
+		e.mu.Unlock()
+		if alarmed {
 			return true
 		}
 	}
@@ -67,8 +148,11 @@ func (f *Fleet) Alarmed() bool {
 // AlarmedVMs returns the names of currently-alarmed VMs, sorted.
 func (f *Fleet) AlarmedVMs() []string {
 	var out []string
-	for vm, det := range f.detectors {
-		if det.Alarmed() {
+	for vm, e := range f.snapshot() {
+		e.mu.Lock()
+		alarmed := e.det.Alarmed()
+		e.mu.Unlock()
+		if alarmed {
 			out = append(out, vm)
 		}
 	}
@@ -85,8 +169,11 @@ type VMAlarm struct {
 // Alarms returns every alarm raised across the fleet, ordered by time.
 func (f *Fleet) Alarms() []VMAlarm {
 	var out []VMAlarm
-	for vm, det := range f.detectors {
-		for _, a := range det.Alarms() {
+	for vm, e := range f.snapshot() {
+		e.mu.Lock()
+		alarms := e.det.Alarms()
+		e.mu.Unlock()
+		for _, a := range alarms {
 			out = append(out, VMAlarm{VM: vm, Alarm: a})
 		}
 	}

@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// tickingDetector is a minimal detector whose state transitions make data
+// races observable under -race: every Observe mutates shared fields.
+type tickingDetector struct {
+	seen   int
+	alarms []Alarm
+}
+
+func (d *tickingDetector) Name() string { return "counting" }
+
+func (d *tickingDetector) Observe(s pcm.Sample) {
+	d.seen++
+	if d.seen%100 == 0 {
+		d.alarms = append(d.alarms, Alarm{T: s.T, Detector: d.Name(), Metric: MetricAccess, Reason: "tick"})
+	}
+}
+
+func (d *tickingDetector) Alarmed() bool { return len(d.alarms) > 0 }
+
+func (d *tickingDetector) Alarms() []Alarm {
+	out := make([]Alarm, len(d.alarms))
+	copy(out, d.alarms)
+	return out
+}
+
+// TestFleetConcurrentObserve drives one goroutine per VM through Observe
+// while other goroutines churn Protect/Unprotect and read aggregate alarm
+// state — the exact access pattern of the multi-VM ingestion server. Run
+// with -race (CI does) to make it a real concurrency regression test.
+func TestFleetConcurrentObserve(t *testing.T) {
+	const (
+		vms     = 32
+		samples = 500
+	)
+	fleet := NewFleet()
+	dets := make([]*tickingDetector, vms)
+	for i := range dets {
+		dets[i] = &tickingDetector{}
+		if err := fleet.Protect(vmName(i), dets[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, vms)
+	for i := 0; i < vms; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vm := vmName(i)
+			for n := 0; n < samples; n++ {
+				s := pcm.Sample{T: float64(n+1) * 0.01, Access: 100, Miss: 10}
+				if err := fleet.Observe(vm, s); err != nil {
+					errc <- err
+					return
+				}
+				if n%50 == 0 {
+					if _, err := fleet.VMAlarmed(vm); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+			if _, err := fleet.VMAlarms(vm); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	// Control-plane readers concurrent with ingestion.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			fleet.Alarmed()
+			fleet.AlarmedVMs()
+			fleet.Alarms()
+			fleet.Size()
+		}
+	}()
+	// Protect/Unprotect churn on names disjoint from the observed VMs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			vm := fmt.Sprintf("churn-%d", i%8)
+			if err := fleet.Protect(vm, &tickingDetector{}); err != nil {
+				errc <- err
+				return
+			}
+			fleet.Unprotect(vm)
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	for i, d := range dets {
+		alarms, err := fleet.VMAlarms(vmName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.seen != samples {
+			t.Errorf("vm %d saw %d samples, want %d", i, d.seen, samples)
+		}
+		if len(alarms) != samples/100 {
+			t.Errorf("vm %d has %d alarms, want %d", i, len(alarms), samples/100)
+		}
+	}
+}
+
+// TestFleetProtectSwapDuringObserve replaces a VM's detector while samples
+// flow: no sample may be lost across the swap and no race may occur.
+func TestFleetProtectSwapDuringObserve(t *testing.T) {
+	fleet := NewFleet()
+	first := &tickingDetector{}
+	if err := fleet.Protect("vm", first); err != nil {
+		t.Fatal(err)
+	}
+	second := &tickingDetector{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 1000; n++ {
+			if err := fleet.Observe("vm", pcm.Sample{T: float64(n+1) * 0.01, Access: 1, Miss: 0}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := fleet.Protect("vm", second); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if got := first.seen + second.seen; got != 1000 {
+		t.Fatalf("samples split %d + %d = %d across the swap, want 1000", first.seen, second.seen, got)
+	}
+}
+
+func vmName(i int) string { return fmt.Sprintf("vm-%02d", i) }

@@ -20,6 +20,7 @@ import (
 type Reader struct {
 	scanner *bufio.Scanner
 	line    int
+	sawData bool // a data candidate line (non-blank, non-comment) was seen
 }
 
 // NewReader returns a Reader over r.
@@ -39,9 +40,14 @@ func (r *Reader) Next() (pcm.Sample, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		first := !r.sawData
+		r.sawData = true
 		s, err := parseLine(text)
 		if err != nil {
-			if r.line == 1 && isHeader(text) {
+			// A header is only valid on the first non-comment, non-blank
+			// line — not necessarily physical line 1, since PCM wrappers
+			// commonly emit '#' comment banners above it.
+			if first && isHeader(text) {
 				continue
 			}
 			return pcm.Sample{}, fmt.Errorf("feed: line %d: %w", r.line, err)

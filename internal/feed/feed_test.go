@@ -3,6 +3,7 @@ package feed
 import (
 	"bytes"
 	"io"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -44,6 +45,34 @@ func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
 	}
 }
 
+func TestReaderCommentThenHeader(t *testing.T) {
+	// Regression: the header used to be skipped only on physical line 1,
+	// so a comment banner above it made the whole stream unparseable.
+	in := "# produced by pcm wrapper\n# host: node-7\n\nt,access,miss\n0.01,100,10\n0.02,110,11\n"
+	samples, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatalf("comment-then-header stream rejected: %v", err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	if samples[0].T != 0.01 || samples[1].T != 0.02 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestReaderHeaderOnlyOnFirstDataLine(t *testing.T) {
+	// A header-looking line after real data is a parse error, not a skip.
+	in := "0.01,100,10\nt,access,miss\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("mid-stream header line parsed without error")
+	}
+}
+
 func TestReaderNoHeader(t *testing.T) {
 	in := "0.01,100,10\n"
 	samples, err := NewReader(strings.NewReader(in)).ReadAll()
@@ -79,6 +108,43 @@ func TestReaderErrors(t *testing.T) {
 				t.Fatalf("error %v lacks line number", err)
 			}
 		})
+	}
+}
+
+func TestReaderNaNInfTokens(t *testing.T) {
+	// NaN/Inf tokens are valid floats to strconv and parse through; the
+	// feed layer is a dumb bridge — rejecting (and counting) non-finite
+	// samples is detect.Sanitizer's job, so a glitching PCM tool cannot
+	// kill the whole stream with a single bad line.
+	in := "NaN,100,10\n0.02,+Inf,11\n0.03,120,-Inf\n"
+	samples, err := NewReader(strings.NewReader(in)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if !math.IsNaN(samples[0].T) || !math.IsInf(samples[1].Access, 1) || !math.IsInf(samples[2].Miss, -1) {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestReaderOversizedLine(t *testing.T) {
+	// Lines beyond the 1 MiB scanner cap must surface as a read error, not
+	// a hang or a silent truncation.
+	var b strings.Builder
+	b.WriteString("0.01,")
+	for b.Len() < 2*1024*1024 {
+		b.WriteString("11111111")
+	}
+	b.WriteString(",10\n")
+	r := NewReader(strings.NewReader(b.String()))
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("oversized line accepted (err=%v)", err)
+	}
+	if !strings.Contains(err.Error(), "read") {
+		t.Fatalf("error %v does not identify a read failure", err)
 	}
 }
 

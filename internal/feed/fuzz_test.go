@@ -1,0 +1,117 @@
+package feed
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// FuzzParseLine checks that no input crashes the line parser and that every
+// accepted line reproduces itself through the Writer's formatting.
+func FuzzParseLine(f *testing.F) {
+	f.Add("0.01,100,10")
+	f.Add("t,access,miss")
+	f.Add(" 1e-3 , 5.5 , 0 ")
+	f.Add("NaN,Inf,-Inf")
+	f.Add(",,")
+	f.Add("1,2,3,4")
+	f.Add("0x1p-2,1,1")
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := parseLine(line)
+		if err != nil {
+			return
+		}
+		// Accepted finite samples must round-trip through the CSV format.
+		if math.IsNaN(s.T) || math.IsInf(s.T, 0) ||
+			math.IsNaN(s.Access) || math.IsInf(s.Access, 0) ||
+			math.IsNaN(s.Miss) || math.IsInf(s.Miss, 0) {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(s); err != nil {
+			t.Fatalf("write of parsed sample %+v: %v", s, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("re-read of %+v: %v", s, err)
+		}
+		if len(got) != 1 || got[0] != s {
+			t.Fatalf("round trip changed sample: %+v -> %+v", s, got)
+		}
+	})
+}
+
+// FuzzReader throws arbitrary byte streams at the Reader: it must terminate
+// with io.EOF or a diagnostic error, never panic or loop.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte("t,access,miss\n0.01,100,10\n"))
+	f.Add([]byte("# comment\n\nt,access,miss\n0.01,1,0\n"))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte("0.01,100"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; ; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "feed:") {
+					t.Fatalf("error %v lacks the feed: prefix", err)
+				}
+				return
+			}
+			if i > len(data) {
+				t.Fatalf("reader produced more samples than input lines (%d)", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip proves the Writer's 'g',-1 formatting claim: every finite
+// sample written is read back bit-for-bit identical.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x3FF0000000000000), uint64(100), uint64(10))
+	f.Add(uint64(0x0000000000000001), uint64(0x7FEFFFFFFFFFFFFF), uint64(0)) // denormal, MaxFloat64
+	f.Add(uint64(0x3F50624DD2F1A9FC), uint64(0x4059000000000000), uint64(0x4024000000000000))
+	f.Fuzz(func(t *testing.T, tBits, aBits, mBits uint64) {
+		s := pcm.Sample{
+			T:      math.Float64frombits(tBits),
+			Access: math.Float64frombits(aBits),
+			Miss:   math.Float64frombits(mBits),
+		}
+		if isNonFinite(s.T) || isNonFinite(s.Access) || isNonFinite(s.Miss) {
+			t.Skip("non-finite values are the Sanitizer's department")
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("re-read of %+v: %v", s, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("round trip lost the sample: %v", got)
+		}
+		if math.Float64bits(got[0].T) != tBits ||
+			math.Float64bits(got[0].Access) != aBits ||
+			math.Float64bits(got[0].Miss) != mBits {
+			t.Fatalf("round trip not lossless: %+v -> %+v", s, got[0])
+		}
+	})
+}
+
+func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }

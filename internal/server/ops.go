@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// VMMetrics is one VM's row in the /metricsz report.
+type VMMetrics struct {
+	App            string  `json:"app"`
+	Scheme         string  `json:"scheme"`
+	Connected      bool    `json:"connected"`
+	Profiling      bool    `json:"profiling"`
+	ProfileSamples int     `json:"profile_samples"`
+	Monitored      uint64  `json:"monitored"`
+	Dropped        uint64  `json:"dropped"`
+	Alarms         int     `json:"alarms"`
+	Alarmed        bool    `json:"alarmed"`
+	LastT          float64 `json:"last_t"`
+}
+
+// Metrics is the /metricsz report: per-VM ingestion counters plus the
+// aggregate throughput of the whole server.
+type Metrics struct {
+	UptimeSeconds    float64              `json:"uptime_seconds"`
+	ActiveVMs        int                  `json:"active_vms"`
+	TotalSamples     uint64               `json:"total_samples"`
+	TotalAlarms      uint64               `json:"total_alarms"`
+	SamplesPerSecond float64              `json:"samples_per_second"`
+	AlarmedVMs       []string             `json:"alarmed_vms"`
+	VMs              map[string]VMMetrics `json:"vms"`
+}
+
+// Metrics snapshots the server's state.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	type entry struct {
+		vm string
+		st *vmState
+	}
+	entries := make([]entry, 0, len(s.order))
+	for _, vm := range s.order {
+		if st, ok := s.sessions[vm]; ok {
+			entries = append(entries, entry{vm, st})
+		}
+	}
+	s.mu.Unlock()
+
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		TotalSamples:  s.totalSamples.Load(),
+		TotalAlarms:   s.totalAlarms.Load(),
+		AlarmedVMs:    s.fleet.AlarmedVMs(),
+		VMs:           make(map[string]VMMetrics, len(entries)),
+	}
+	if m.AlarmedVMs == nil {
+		m.AlarmedVMs = []string{}
+	}
+	if m.UptimeSeconds > 0 {
+		m.SamplesPerSecond = float64(m.TotalSamples) / m.UptimeSeconds
+	}
+	for _, e := range entries {
+		st := e.st.sess.Stats()
+		connected := e.st.connected.Load()
+		if connected {
+			m.ActiveVMs++
+		}
+		m.VMs[e.vm] = VMMetrics{
+			App:            st.App,
+			Scheme:         st.Scheme,
+			Connected:      connected,
+			Profiling:      st.Profiling,
+			ProfileSamples: st.ProfileSamples,
+			Monitored:      st.Monitored,
+			Dropped:        st.Dropped,
+			Alarms:         st.Alarms,
+			Alarmed:        st.Alarmed,
+			LastT:          st.LastT,
+		}
+	}
+	return m
+}
+
+// Handler returns the ops surface: GET /healthz (200 "ok", 503 while
+// draining) and GET /metricsz (the Metrics snapshot as JSON).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Metrics())
+	})
+	return mux
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/feed"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// ReplaySpec describes a simulated telemetry stream: the `-record` path of
+// detectd and the per-VM streams the sdsload generator replays.
+type ReplaySpec struct {
+	// App names the application model (bayes, svm, kmeans, …).
+	App string
+	// Seconds is the stream duration in virtual seconds.
+	Seconds float64
+	// AttackAt starts a memory DoS attack at this time (0 = none).
+	AttackAt float64
+	// AttackKind selects the attack; the zero value means bus locking
+	// (the recorded-stream default detectd has always used).
+	AttackKind attack.Kind
+	// Ramp is the attacker's probe/ramp-up span in seconds; negative
+	// means instant full intensity, zero means the 10 s default.
+	Ramp float64
+	// Seed derives the deterministic telemetry stream.
+	Seed uint64
+	// TPCM is the sampling interval (0 = the Table 1 default).
+	TPCM float64
+}
+
+// WriteSimulatedStream writes spec's telemetry stream to w in feed CSV
+// format (header included) and returns the number of samples written. The
+// stream is byte-identical to historical `detectd -record` output for the
+// same app/seed/attack parameters.
+func WriteSimulatedStream(w io.Writer, spec ReplaySpec) (int, error) {
+	if spec.Seconds <= 0 {
+		return 0, fmt.Errorf("replay duration must be positive, got %v", spec.Seconds)
+	}
+	prof, err := workload.AppProfile(spec.App)
+	if err != nil {
+		return 0, err
+	}
+	model, err := workload.NewModel(prof, randx.DeriveString(spec.Seed, spec.App))
+	if err != nil {
+		return 0, err
+	}
+	sched := attack.Schedule{}
+	if spec.AttackAt > 0 {
+		kind := spec.AttackKind
+		if kind == attack.None {
+			kind = attack.BusLock
+		}
+		ramp := spec.Ramp
+		switch {
+		case ramp == 0:
+			ramp = 10
+		case ramp < 0:
+			ramp = 0
+		}
+		sched = attack.Schedule{Kind: kind, Start: spec.AttackAt, Ramp: ramp}
+	}
+	tpcm := spec.TPCM
+	if tpcm <= 0 {
+		tpcm = detect.DefaultConfig().TPCM
+	}
+	fw := feed.NewWriter(w)
+	n := pcm.SampleCount(spec.Seconds, tpcm)
+	for i := 0; i < n; i++ {
+		now := float64(i+1) * tpcm
+		a, m := model.Sample(tpcm, sched.Env(now, false))
+		if err := fw.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
+			return i, err
+		}
+	}
+	return n, fw.Flush()
+}

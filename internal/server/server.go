@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/feed"
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// Handshake is the first line every stream connection must send:
+//
+//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest>] [profile=<seconds>]
+//
+// followed by the feed CSV stream (`t,access,miss` lines; header and '#'
+// comments allowed). Key=value fields may appear in any order; omitted
+// fields fall back to the server's defaults. The server answers with
+// line-oriented responses on the same connection:
+//
+//	ok vm=<id> app=<name> scheme=<scheme> profile=<seconds>
+//	alarm {"t":…,"detector":…,"metric":…,"reason":…}
+//	done vm=<id> samples=<ingested> monitored=<n> dropped=<d> alarms=<a>
+//	error: <message>
+//
+// Clients that stream without reading MUST at minimum drain the socket at
+// end of stream: alarm lines are written inline and TCP backpressure from
+// an unread response buffer eventually pauses that VM's ingestion.
+const handshakeMagic = "sds/1"
+
+// maxHandshakeLen bounds the handshake line.
+const maxHandshakeLen = 4096
+
+// Options configures a Server. Zero-value fields fall back to defaults.
+type Options struct {
+	// Scheme, App, ProfileSeconds, Config and KSConfig are the per-stream
+	// defaults applied when a handshake omits the matching field.
+	Scheme         string
+	App            string
+	ProfileSeconds float64
+	Config         detect.Config
+	KSConfig       detect.KSTestConfig
+	// BufferSamples bounds the per-connection sample buffer between the
+	// connection reader and the detection worker (default 1024). When the
+	// worker falls behind, the reader blocks — backpressure propagates to
+	// the client through TCP instead of growing memory.
+	BufferSamples int
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server ingests many VM sample streams concurrently, one detector
+// lifecycle per stream, and exposes fleet-wide state to the provider's
+// control plane.
+type Server struct {
+	opts  Options
+	fleet *detect.Fleet
+	start time.Time
+
+	mu        sync.Mutex
+	sessions  map[string]*vmState
+	order     []string // registration order, for stable /metricsz output
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	wg       sync.WaitGroup // connection handlers
+	draining atomic.Bool
+
+	totalSamples atomic.Uint64
+	totalAlarms  atomic.Uint64
+}
+
+// vmState tracks one VM's stream across its lifetime (it outlives the
+// connection so /metricsz keeps reporting final state after disconnect).
+type vmState struct {
+	sess      *Session
+	connected atomic.Bool
+}
+
+// New returns a Server with the given defaults.
+func New(opts Options) *Server {
+	if opts.Scheme == "" {
+		opts.Scheme = "sds"
+	}
+	if opts.App == "" {
+		opts.App = "monitored-vm"
+	}
+	if opts.ProfileSeconds <= 0 {
+		opts.ProfileSeconds = 900
+	}
+	if opts.Config == (detect.Config{}) {
+		opts.Config = detect.DefaultConfig()
+	}
+	if opts.KSConfig == (detect.KSTestConfig{}) {
+		opts.KSConfig = detect.DefaultKSTestConfig()
+	}
+	if opts.BufferSamples <= 0 {
+		opts.BufferSamples = 1024
+	}
+	return &Server{
+		opts:      opts,
+		fleet:     detect.NewFleet(),
+		start:     time.Now(),
+		sessions:  make(map[string]*vmState),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Fleet returns the server's detector fleet (aggregate alarm state).
+func (s *Server) Fleet() *detect.Fleet { return s.fleet }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts stream connections on l until the listener is closed or the
+// server shuts down. Call once per listener (TCP and unix socket listeners
+// can be served concurrently).
+func (s *Server) Serve(l net.Listener) error {
+	if s.draining.Load() {
+		return fmt.Errorf("server: already shut down")
+	}
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting connections and drains active streams: every
+// sample already read from a connection is processed before its handler
+// exits. Handlers still running when ctx expires have their connections
+// force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Interrupt blocking reads; handlers treat the deadline error as end
+	// of stream and drain their buffered samples.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// streamSpec builds the per-stream spec from a parsed handshake.
+func (s *Server) streamSpec(h handshake) StreamSpec {
+	spec := StreamSpec{
+		VM:             h.vm,
+		App:            s.opts.App,
+		Scheme:         s.opts.Scheme,
+		ProfileSeconds: s.opts.ProfileSeconds,
+		Config:         s.opts.Config,
+		KSConfig:       s.opts.KSConfig,
+	}
+	if h.app != "" {
+		spec.App = h.app
+	}
+	if h.scheme != "" {
+		spec.Scheme = h.scheme
+	}
+	if h.profileSeconds > 0 {
+		spec.ProfileSeconds = h.profileSeconds
+	}
+	return spec
+}
+
+// register installs a new session for vm, rejecting duplicates that are
+// still streaming (a reconnect after disconnect replaces the old state).
+func (s *Server) register(vm string, sess *Session) (*vmState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sessions[vm]; ok && st.connected.Load() {
+		return nil, fmt.Errorf("vm %q is already streaming", vm)
+	} else if !ok {
+		s.order = append(s.order, vm)
+	}
+	st := &vmState{sess: sess}
+	st.connected.Store(true)
+	s.sessions[vm] = st
+	if err := s.fleet.Protect(vm, detectorView{sess}); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// release marks vm's stream ended and removes it from the active fleet.
+func (s *Server) release(vm string, st *vmState) {
+	st.connected.Store(false)
+	s.fleet.Unprotect(vm)
+}
+
+// handleConn runs one VM stream: handshake, then a bounded-buffer pipeline
+// from the feed parser to the detection worker.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	cw := &connWriter{w: bufio.NewWriter(conn)}
+	br := bufio.NewReaderSize(conn, 64*1024)
+	h, err := readHandshake(br)
+	if err != nil {
+		cw.line("error: %v", err)
+		return
+	}
+	spec := s.streamSpec(h)
+	spec.OnAlarm = func(a detect.Alarm) error {
+		s.totalAlarms.Add(1)
+		s.logf("vm %s: ALARM %s (%s) at %.2fs: %s", h.vm, a.Detector, a.Metric, a.T, a.Reason)
+		return cw.line("alarm %s", alarmJSON(a))
+	}
+	spec.OnProfile = func(p detect.Profile, n int) {
+		s.logf("vm %s: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)",
+			h.vm, p.App, n, p.MeanAccess, p.StdAccess, p.Periodic)
+	}
+	sess, err := NewSession(spec)
+	if err != nil {
+		cw.line("error: %v", err)
+		return
+	}
+	st, err := s.register(h.vm, sess)
+	if err != nil {
+		cw.line("error: %v", err)
+		return
+	}
+	defer s.release(h.vm, st)
+	s.logf("vm %s: stream open (app=%s scheme=%s profile=%gs)", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
+	if err := cw.line("ok vm=%s app=%s scheme=%s profile=%g", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds); err != nil {
+		return
+	}
+
+	// Bounded pipeline: the reader parses samples into ch; the worker
+	// drains ch into the session. A full channel blocks the reader, which
+	// backpressures the client through TCP. On shutdown the reader stops
+	// (read deadline) and the worker still drains everything buffered, so
+	// no accepted sample is lost.
+	ch := make(chan pcm.Sample, s.opts.BufferSamples)
+	var procErr error
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		for smp := range ch {
+			if procErr != nil {
+				continue // poisoned: unblock the reader, discard
+			}
+			if err := sess.Observe(smp); err != nil {
+				procErr = err
+				continue
+			}
+			s.totalSamples.Add(1)
+		}
+	}()
+
+	var readErr error
+	reader := feed.NewReader(br)
+	for {
+		smp, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !isDeadlineErr(err) {
+				readErr = err
+			}
+			break
+		}
+		ch <- smp
+	}
+	close(ch)
+	<-workerDone
+
+	stats, closeErr := sess.Close()
+	switch {
+	case procErr != nil:
+		cw.line("error: %v", procErr)
+	case readErr != nil:
+		cw.line("error: %v", readErr)
+	case closeErr != nil:
+		cw.line("error: %v", closeErr)
+	}
+	cw.line("done vm=%s samples=%d monitored=%d dropped=%d alarms=%d",
+		h.vm, stats.Ingested(), stats.Monitored, stats.Dropped, stats.Alarms)
+	s.logf("vm %s: stream closed (%d samples, %d dropped, %d alarms, alarmed=%v)",
+		h.vm, stats.Ingested(), stats.Dropped, stats.Alarms, stats.Alarmed)
+}
+
+// Stream is an in-process VM stream: the same lifecycle as a connection,
+// fed directly by the caller (which provides natural backpressure).
+type Stream struct {
+	srv  *Server
+	vm   string
+	st   *vmState
+	sess *Session
+}
+
+// OpenStream registers an in-process stream for spec.VM. The spec's zero
+// fields default like a handshake's omitted fields.
+func (s *Server) OpenStream(spec StreamSpec) (*Stream, error) {
+	if spec.VM == "" {
+		return nil, fmt.Errorf("in-process stream needs a VM name")
+	}
+	if spec.App == "" {
+		spec.App = s.opts.App
+	}
+	if spec.Scheme == "" {
+		spec.Scheme = s.opts.Scheme
+	}
+	if spec.ProfileSeconds <= 0 {
+		spec.ProfileSeconds = s.opts.ProfileSeconds
+	}
+	if spec.Config == (detect.Config{}) {
+		spec.Config = s.opts.Config
+	}
+	if spec.KSConfig == (detect.KSTestConfig{}) {
+		spec.KSConfig = s.opts.KSConfig
+	}
+	userAlarm := spec.OnAlarm
+	spec.OnAlarm = func(a detect.Alarm) error {
+		s.totalAlarms.Add(1)
+		if userAlarm != nil {
+			return userAlarm(a)
+		}
+		return nil
+	}
+	sess, err := NewSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.register(spec.VM, sess)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{srv: s, vm: spec.VM, st: st, sess: sess}, nil
+}
+
+// Observe ingests one sample.
+func (st *Stream) Observe(smp pcm.Sample) error {
+	if err := st.sess.Observe(smp); err != nil {
+		return err
+	}
+	st.srv.totalSamples.Add(1)
+	return nil
+}
+
+// Session exposes the stream's session (stats, profile, alarms).
+func (st *Stream) Session() *Session { return st.sess }
+
+// Close ends the stream and releases its fleet slot.
+func (st *Stream) Close() (SessionStats, error) {
+	st.srv.release(st.vm, st.st)
+	return st.sess.Close()
+}
+
+// handshake is the parsed first line of a stream connection.
+type handshake struct {
+	vm             string
+	app            string
+	scheme         string
+	profileSeconds float64
+}
+
+// readHandshake reads and parses the handshake line.
+func readHandshake(br *bufio.Reader) (handshake, error) {
+	line, err := br.ReadString('\n')
+	if err != nil && (err != io.EOF || line == "") {
+		return handshake{}, fmt.Errorf("reading handshake: %v", err)
+	}
+	if len(line) > maxHandshakeLen {
+		return handshake{}, fmt.Errorf("handshake line exceeds %d bytes", maxHandshakeLen)
+	}
+	return parseHandshake(strings.TrimSpace(line))
+}
+
+// parseHandshake parses `sds/1 vm=<id> [key=value]...`.
+func parseHandshake(line string) (handshake, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != handshakeMagic {
+		return handshake{}, fmt.Errorf("want handshake %q vm=<id> [app=] [scheme=] [profile=], got %q", handshakeMagic, line)
+	}
+	var h handshake
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || val == "" {
+			return handshake{}, fmt.Errorf("malformed handshake field %q (want key=value)", f)
+		}
+		switch key {
+		case "vm":
+			h.vm = val
+		case "app":
+			h.app = val
+		case "scheme":
+			h.scheme = val
+		case "profile":
+			sec, err := strconv.ParseFloat(val, 64)
+			if err != nil || sec <= 0 {
+				return handshake{}, fmt.Errorf("bad profile window %q", val)
+			}
+			h.profileSeconds = sec
+		default:
+			return handshake{}, fmt.Errorf("unknown handshake field %q", key)
+		}
+	}
+	if h.vm == "" {
+		return handshake{}, fmt.Errorf("handshake is missing the vm=<id> field")
+	}
+	return h, nil
+}
+
+// connWriter serializes line writes to a connection (alarms come from the
+// worker goroutine, errors from the reader).
+type connWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+func (c *connWriter) line(format string, args ...any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
+// AlarmEvent is the JSON wire format of one alarm (also detectd's -json
+// output format).
+type AlarmEvent struct {
+	T        float64 `json:"t"`
+	Detector string  `json:"detector"`
+	Metric   string  `json:"metric"`
+	Reason   string  `json:"reason"`
+}
+
+// NewAlarmEvent converts a detect.Alarm to its wire format.
+func NewAlarmEvent(a detect.Alarm) AlarmEvent {
+	return AlarmEvent{T: a.T, Detector: a.Detector, Metric: a.Metric.String(), Reason: a.Reason}
+}
+
+// alarmJSON renders an alarm as a one-line JSON object.
+func alarmJSON(a detect.Alarm) string {
+	b, err := json.Marshal(NewAlarmEvent(a))
+	if err != nil {
+		return fmt.Sprintf(`{"t":%g,"detector":%q}`, a.T, a.Detector)
+	}
+	return string(b)
+}
+
+// isDeadlineErr reports whether err stems from the shutdown read deadline.
+func isDeadlineErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
