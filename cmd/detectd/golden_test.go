@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/memdos/sds"
+	"github.com/memdos/sds/internal/golden"
+)
+
+// TestGoldenAlarmTranscripts pins detectd's alarm output — both the human
+// text format and the -json wire format — byte for byte at a fixed seed:
+// the same recorded k-means stream (seed 7, bus locking at 150 s) the
+// detectd-vs-server equivalence test replays. Drift in detect, signal or
+// the session lifecycle changes alarm times or reasons and fails here with
+// a line diff; intentional changes regenerate with -update (make goldens).
+func TestGoldenAlarmTranscripts(t *testing.T) {
+	const (
+		seconds        = 160.0
+		attackAt       = 100.0
+		profileSeconds = 60.0
+	)
+	t.Run("text", func(t *testing.T) {
+		in := recordStream(t, sds.KMeans, seconds, attackAt)
+		var out bytes.Buffer
+		if err := runDetect(in, &out, "sds", sds.KMeans, profileSeconds, false); err != nil {
+			t.Fatal(err)
+		}
+		golden.Assert(t, "testdata/golden/transcript_sds_text.txt", out.Bytes())
+	})
+	t.Run("json", func(t *testing.T) {
+		in := recordStream(t, sds.KMeans, seconds, attackAt)
+		var out bytes.Buffer
+		if err := runDetect(in, &out, "sds", sds.KMeans, profileSeconds, true); err != nil {
+			t.Fatal(err)
+		}
+		golden.Assert(t, "testdata/golden/transcript_sds_json.txt", out.Bytes())
+	})
+	// The KStest baseline takes a different code path (Stage-1 seeded
+	// reference); pin its transcript too.
+	t.Run("kstest", func(t *testing.T) {
+		in := recordStream(t, sds.KMeans, seconds, attackAt)
+		var out bytes.Buffer
+		if err := runDetect(in, &out, "kstest", sds.KMeans, profileSeconds, true); err != nil {
+			t.Fatal(err)
+		}
+		golden.Assert(t, "testdata/golden/transcript_kstest_json.txt", out.Bytes())
+	})
+}

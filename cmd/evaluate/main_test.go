@@ -1,34 +1,29 @@
 package main
 
 import (
-	"os"
 	"strings"
 	"testing"
+
+	"github.com/memdos/sds/internal/golden"
 )
 
 // TestRunMatchesGolden pins the full fixed-seed CLI output byte for byte
-// against a capture taken before the plan/scratch optimisation of the signal
-// pipeline (testdata/golden_small.txt, generated with:
+// against the committed conformance fixture
+// (testdata/golden/evaluate_small.txt, equivalent to:
 //
 //	evaluate -fig9 -fig10 -fig11 -fig12 -table1 -ablation \
 //	  -runs 2 -apps kmeans,facenet -seed 1 -parallel 0
 //
 // ). Any numerical drift in the detection pipeline — FFT tables, ACF
 // evaluation order, estimator reuse, profile caching — shows up here as a
-// table diff.
+// line diff. Intentional changes regenerate with -update (see make goldens).
 func TestRunMatchesGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a reduced evaluation grid; skipped in -short mode")
-	}
-	want, err := os.ReadFile("testdata/golden_small.txt")
-	if err != nil {
-		t.Fatalf("read golden: %v", err)
 	}
 	var got strings.Builder
 	if err := run(&got, true, true, true, true, true, true, 2, 1, "kmeans,facenet", 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if got.String() != string(want) {
-		t.Fatalf("output diverged from golden capture.\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
-	}
+	golden.AssertString(t, "testdata/golden/evaluate_small.txt", got.String())
 }

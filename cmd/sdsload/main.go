@@ -113,6 +113,29 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 	}
 	defer conn.Close()
 
+	// The handshake reply is validated synchronously before any telemetry is
+	// sent: a server that rejects the handshake — or closes the connection
+	// without replying at all — is a hard failure, not a stream that happens
+	// to account zero samples.
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if _, err := fmt.Fprintf(conn, "sds/1 vm=%s app=%s scheme=%s profile=%g\n", vm, app, scheme, profileSeconds); err != nil {
+		res.err = err
+		return res
+	}
+	reply, err := br.ReadString('\n')
+	if err != nil {
+		res.err = fmt.Errorf("handshake reply: %w", err)
+		return res
+	}
+	switch reply = strings.TrimSpace(reply); {
+	case strings.HasPrefix(reply, "error: "):
+		res.err = fmt.Errorf("server rejected handshake: %s", strings.TrimPrefix(reply, "error: "))
+		return res
+	case !strings.HasPrefix(reply, "ok "):
+		res.err = fmt.Errorf("unexpected handshake reply %q", reply)
+		return res
+	}
+
 	// The server streams alarm lines inline, so read concurrently with the
 	// write — an unread response buffer would backpressure our own stream.
 	type doneInfo struct {
@@ -125,7 +148,7 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 		alarms := 0
 		var d doneInfo
 		d.samples = -1
-		sc := bufio.NewScanner(conn)
+		sc := bufio.NewScanner(br)
 		sc.Buffer(make([]byte, 64*1024), 1024*1024)
 		for sc.Scan() {
 			line := sc.Text()
@@ -149,10 +172,6 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 		resp <- d
 	}()
 
-	if _, err := fmt.Fprintf(conn, "sds/1 vm=%s app=%s scheme=%s profile=%g\n", vm, app, scheme, profileSeconds); err != nil {
-		res.err = err
-		return res
-	}
 	n, err := server.WriteSimulatedStream(conn, server.ReplaySpec{
 		App:      app,
 		Seconds:  seconds,

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/memdos/sds/internal/server"
+)
+
+// startServer launches a real sdsd Server on a loopback listener.
+func startServer(t *testing.T, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	s := server.New(opts)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, l.Addr().String()
+}
+
+// TestStreamVMHappyPath: a full attacked stream against a real server
+// accounts every sample and reports its alarms.
+func TestStreamVMHappyPath(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	res := streamVM(addr, "tcp", "load-ok", "kmeans", "sds", 160, 60, 100, 7, 1)
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.samples != res.sent || res.sent == 0 {
+		t.Errorf("sent %d samples, server accounted %d", res.sent, res.samples)
+	}
+	if res.alarms == 0 {
+		t.Error("attacked stream raised no alarms")
+	}
+}
+
+// TestStreamVMRejectedHandshakeIsHardFailure is the regression test for the
+// silent-success bug: when the server rejects the handshake (or closes the
+// connection before replying), streamVM must fail before sending a single
+// sample — previously it streamed the whole payload into a dead socket and
+// the failure surfaced, if at all, only through the sample accounting.
+func TestStreamVMRejectedHandshakeIsHardFailure(t *testing.T) {
+	t.Run("error reply", func(t *testing.T) {
+		_, addr := startServer(t, server.Options{})
+		// An unknown scheme is rejected at handshake time.
+		res := streamVM(addr, "tcp", "load-bad", "kmeans", "bogus", 160, 60, 0, 7, 1)
+		if res.err == nil {
+			t.Fatal("rejected handshake reported success")
+		}
+		if !strings.Contains(res.err.Error(), "rejected handshake") {
+			t.Errorf("error %v does not identify the handshake rejection", res.err)
+		}
+		if res.sent != 0 {
+			t.Errorf("streamed %d samples after a rejected handshake", res.sent)
+		}
+	})
+
+	t.Run("connection closed before reply", func(t *testing.T) {
+		// A listener that accepts and immediately hangs up, replying nothing.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				conn.Close()
+			}
+		}()
+		res := streamVM(l.Addr().String(), "tcp", "load-hup", "kmeans", "sds", 160, 60, 0, 7, 1)
+		if res.err == nil {
+			t.Fatal("server hang-up before handshake reply reported success")
+		}
+		if !strings.Contains(res.err.Error(), "handshake reply") {
+			t.Errorf("error %v does not identify the short handshake read", res.err)
+		}
+		if res.sent != 0 {
+			t.Errorf("streamed %d samples into a closed connection", res.sent)
+		}
+	})
+}
+
+// TestRunExpectAlarms: the run-level assertion wiring — every stream must
+// meet the alarm floor or the whole run fails.
+func TestRunExpectAlarms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays full streams")
+	}
+	_, addr := startServer(t, server.Options{})
+	if err := run(addr, "tcp", "kmeans", "sds", 2, 160, 60, 100, 7, 1, 1); err != nil {
+		t.Errorf("attacked run with alarms failed: %v", err)
+	}
+	// No stream can meet an absurd alarm floor; the run must fail.
+	if err := run(addr, "tcp", "kmeans", "sds", 1, 120, 60, 0, 9, 1000, 1); err == nil {
+		t.Error("run satisfied -expect-alarms 1000")
+	}
+}

@@ -1,29 +1,26 @@
 package main
 
 import (
-	"os"
 	"strings"
 	"testing"
 
 	"github.com/memdos/sds/internal/experiment"
+	"github.com/memdos/sds/internal/golden"
 )
 
 // TestRunMatchesGolden pins the fixed-seed sweep output byte for byte
-// against a capture taken before the plan/scratch optimisation
-// (testdata/golden_small.txt, generated with:
+// against the committed conformance fixture
+// (testdata/golden/sensitivity_small.txt, equivalent to:
 //
 //	sensitivity -wp -alpha -runs 2 -seed 1 -parallel 0
 //
 // ). The W_P sweep exercises SDS/P's reusable period estimator at several
 // window sizes; the α sweep exercises the profile cache across configs that
-// differ in detection parameters.
+// differ in detection parameters. Intentional changes regenerate with
+// -update (see make goldens).
 func TestRunMatchesGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a reduced sensitivity sweep; skipped in -short mode")
-	}
-	want, err := os.ReadFile("testdata/golden_small.txt")
-	if err != nil {
-		t.Fatalf("read golden: %v", err)
 	}
 	cfg := experiment.DefaultConfig()
 	cfg.Runs = 2
@@ -36,7 +33,5 @@ func TestRunMatchesGolden(t *testing.T) {
 	if err := run(&got, cfg, sweeps); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if got.String() != string(want) {
-		t.Fatalf("output diverged from golden capture.\n--- got ---\n%s\n--- want ---\n%s", got.String(), want)
-	}
+	golden.AssertString(t, "testdata/golden/sensitivity_small.txt", got.String())
 }

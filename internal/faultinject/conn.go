@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn's write side with the fault schedule: the peer
+// observes corrupted and truncated lines, torn (partial) writes, stalled
+// delivery, write failures after a cut-off, and an abrupt connection drop.
+// Reads pass through untouched (wrap the read side with NewReader when a
+// damaged inbound stream is wanted). Conn is safe for one writer at a time,
+// like net.Conn itself.
+type Conn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	lf      *faulter
+	pending []byte // bytes of an incomplete trailing line
+	lines   int    // complete lines delivered (pre-skip included)
+	err     error  // sticky injected failure
+}
+
+// Wrap wraps c's write side with schedule f.
+func Wrap(c net.Conn, f Faults) *Conn {
+	return &Conn{Conn: c, lf: newFaulter(f)}
+}
+
+// Write buffers p into lines and delivers each complete line through the
+// fault schedule. It reports len(p) on success so callers account bytes the
+// application wrote, not bytes that survived injection; once a drop or
+// write-failure fault fires, it returns the injected error (sticky).
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.pending = append(c.pending, p...)
+	for {
+		i := bytes.IndexByte(c.pending, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := c.pending[:i+1]
+		if err := c.deliverLocked(line); err != nil {
+			c.err = err
+			return 0, err
+		}
+		c.pending = c.pending[i+1:]
+	}
+}
+
+// Close flushes any incomplete trailing line through the schedule before
+// closing the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.err == nil && len(c.pending) > 0 {
+		c.err = c.deliverLocked(c.pending)
+		c.pending = nil
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// CloseWrite half-closes the write side (TCP/unix), flushing like Close.
+func (c *Conn) CloseWrite() error {
+	c.mu.Lock()
+	if c.err == nil && len(c.pending) > 0 {
+		c.err = c.deliverLocked(c.pending)
+		c.pending = nil
+	}
+	c.mu.Unlock()
+	if cw, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// deliverLocked pushes one complete line through the schedule and the
+// underlying connection.
+func (c *Conn) deliverLocked(line []byte) error {
+	if c.lf.f.FailWritesAfterLines > 0 && c.lines >= c.lf.f.FailWritesAfterLines {
+		return ErrWriteFail
+	}
+	out, stall, drop := c.lf.apply(line)
+	if drop {
+		// End the stream at an exact line boundary. Half-close when the
+		// transport supports it: a hard Close discards in-flight kernel
+		// buffers (TCP RST), making the cut point nondeterministic, while
+		// CloseWrite flushes them so the peer observes precisely the lines
+		// the schedule delivered. This and every later write fail.
+		if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+			hc.CloseWrite()
+		} else {
+			c.Conn.Close()
+		}
+		return ErrDrop
+	}
+	c.lines++
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	chunk := c.lf.f.PartialWriteMax
+	if chunk <= 0 {
+		chunk = len(out)
+	}
+	for len(out) > 0 {
+		n := chunk
+		if n > len(out) {
+			n = len(out)
+		}
+		if _, err := c.Conn.Write(out[:n]); err != nil {
+			return err
+		}
+		out = out[n:]
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package faultinject is a deterministic, seedable fault layer for the
+// line-oriented telemetry plane: it wraps a client's net.Conn (write side)
+// or an io.Reader feeding feed.Reader (read side) and injects the failure
+// modes a provider-side sdsd deployment sees in production — connection
+// drops, mid-line truncation, byte corruption, reordering-free stalls,
+// partial writes, and abrupt EOFs — on a configurable schedule.
+//
+// Every fault is a pure function of (Faults, line number, Seed): the same
+// schedule over the same stream produces byte-identical damage, so a chaos
+// test can replay the transformation locally (Apply) and compute the exact
+// set of lines the server must ingest, quarantine, or never see. There is
+// no reordering and no spontaneous data invention: the layer only removes,
+// damages, delays, or splits what the application wrote.
+package faultinject
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"time"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// ErrDrop is returned by a wrapped connection or reader once the schedule's
+// DropAfterLines cut has fired: the stream ended abruptly mid-conversation.
+var ErrDrop = errors.New("faultinject: stream dropped by fault schedule")
+
+// ErrWriteFail is returned by a wrapped connection once FailWritesAfterLines
+// has fired: the peer is gone and every further write fails, the way a
+// crashed client surfaces to the server as EPIPE/ECONNRESET.
+var ErrWriteFail = errors.New("faultinject: writes failing by fault schedule")
+
+// Faults is a deterministic fault schedule over one line-oriented stream.
+// Line counts refer to fault-eligible lines: the first SkipLines lines
+// (handshake, CSV header) pass through untouched and are not counted.
+// The zero value injects nothing.
+type Faults struct {
+	// Seed derives the per-line random choices (corruption position and
+	// byte, truncation cut). Schedules with equal Seed are identical.
+	Seed uint64
+	// SkipLines exempts the first N lines from every fault — set it to 2
+	// for a client stream so the handshake and CSV header survive.
+	SkipLines int
+	// CorruptEvery overwrites one byte of every Nth line with a junk
+	// character (guaranteed unparseable as a t,access,miss record). 0 = off.
+	CorruptEvery int
+	// TruncateEvery cuts every Nth line shortly after its first comma and
+	// drops the newline, so it merges with the following line into one
+	// malformed record (mid-line truncation — a torn write). 0 = off.
+	TruncateEvery int
+	// DropAfterLines ends the stream abruptly after N lines: a wrapped
+	// conn half-closes its write side (hard-closes transports without
+	// CloseWrite), a wrapped reader returns io.EOF (abrupt EOF). 0 = off.
+	DropAfterLines int
+	// StallEvery sleeps Stall before delivering every Nth line — a
+	// reordering-free read/write delay. 0 = off.
+	StallEvery int
+	// Stall is the delay StallEvery applies.
+	Stall time.Duration
+	// PartialWriteMax splits each delivered line into underlying writes of
+	// at most this many bytes, so the peer observes torn write boundaries
+	// mid-line. 0 = off.
+	PartialWriteMax int
+	// FailWritesAfterLines makes every write after the Nth line fail with
+	// ErrWriteFail without delivering anything — a dead peer as seen from
+	// the writing side. 0 = off.
+	FailWritesAfterLines int
+}
+
+// active reports whether the schedule injects anything at all.
+func (f Faults) active() bool {
+	return f.CorruptEvery > 0 || f.TruncateEvery > 0 || f.DropAfterLines > 0 ||
+		f.StallEvery > 0 || f.PartialWriteMax > 0 || f.FailWritesAfterLines > 0
+}
+
+// corruptBytes are the overwrite candidates: none of them can appear in a
+// valid t,access,miss record, so a corrupted line always fails to parse
+// rather than silently becoming a different sample.
+var corruptBytes = []byte{'X', '!', '?', '~'}
+
+// faulter applies the schedule line by line. It is not safe for concurrent
+// use; Conn serializes access.
+type faulter struct {
+	f       Faults
+	rng     *randx.Rand
+	seen    int // total lines, including skipped ones
+	n       int // fault-eligible lines
+	scratch []byte
+}
+
+func newFaulter(f Faults) *faulter {
+	return &faulter{f: f, rng: randx.Derive(f.Seed, 0xfa017)}
+}
+
+// every reports whether the current line index n hits a 1-in-period cadence.
+func every(n, period int) bool { return period > 0 && n%period == 0 }
+
+// apply transforms one complete line (trailing newline included, except
+// possibly on the stream's final line). It returns the bytes to deliver,
+// the stall to sleep before delivering them, and whether the stream drops
+// before this line.
+func (lf *faulter) apply(line []byte) (out []byte, stall time.Duration, drop bool) {
+	lf.seen++
+	if lf.seen <= lf.f.SkipLines {
+		return line, 0, false
+	}
+	lf.n++
+	if lf.f.DropAfterLines > 0 && lf.n > lf.f.DropAfterLines {
+		return nil, 0, true
+	}
+	if every(lf.n, lf.f.StallEvery) {
+		stall = lf.f.Stall
+	}
+	switch {
+	case every(lf.n, lf.f.TruncateEvery):
+		// Cut shortly after the first comma and drop the newline: the
+		// remnant merges with the next line into a ≥4-field record, which
+		// can never parse as t,access,miss. (Keep TruncateEvery ≥ 2 so two
+		// consecutive lines don't both truncate.)
+		cut := bytes.IndexByte(line, ',')
+		if cut < 0 {
+			cut = len(line) / 2
+		}
+		cut += 1 + lf.rng.IntN(2)
+		if cut >= len(line) {
+			cut = len(line) - 1
+		}
+		out = append(lf.scratch[:0], line[:cut]...)
+		lf.scratch = out
+	case every(lf.n, lf.f.CorruptEvery):
+		out = append(lf.scratch[:0], line...)
+		lf.scratch = out
+		span := len(out)
+		if span > 0 && out[span-1] == '\n' {
+			span--
+		}
+		if span > 0 {
+			out[lf.rng.IntN(span)] = corruptBytes[lf.rng.IntN(len(corruptBytes))]
+		}
+	default:
+		out = line
+	}
+	return out, stall, false
+}
+
+// Apply replays the schedule over a recorded stream and returns the bytes
+// the peer would observe — the local oracle a chaos test uses to compute
+// exactly which records survive. Stalls are skipped (they do not change
+// bytes), and a scheduled drop cuts the result short.
+func Apply(data []byte, f Faults) []byte {
+	f.Stall = 0
+	f.StallEvery = 0
+	lf := newFaulter(f)
+	var out bytes.Buffer
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line = data[:i+1]
+		}
+		data = data[len(line):]
+		got, _, drop := lf.apply(line)
+		if drop {
+			break
+		}
+		out.Write(got)
+	}
+	return out.Bytes()
+}
+
+// Reader wraps an io.Reader with the fault schedule, for feeding a
+// feed.Reader (or any line parser) a damaged stream: corrupted and
+// truncated lines, stalled delivery, and an abrupt mid-stream EOF on drop.
+type Reader struct {
+	src  *bufio.Reader
+	lf   *faulter
+	buf  []byte
+	off  int
+	done bool
+	err  error
+}
+
+// NewReader wraps r with schedule f.
+func NewReader(r io.Reader, f Faults) *Reader {
+	return &Reader{src: bufio.NewReaderSize(r, 64*1024), lf: newFaulter(f)}
+}
+
+// Read serves the transformed stream.
+func (r *Reader) Read(p []byte) (int, error) {
+	for r.off >= len(r.buf) {
+		if r.done {
+			if r.err != nil {
+				return 0, r.err
+			}
+			return 0, io.EOF
+		}
+		line, err := r.src.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if err == io.EOF {
+			r.done = true
+			if len(line) == 0 {
+				return 0, io.EOF
+			}
+		}
+		out, stall, drop := r.lf.apply(line)
+		if drop {
+			// Abrupt EOF mid-stream: the reader sees a clean end of file
+			// even though the writer had more to say.
+			r.done = true
+			return 0, io.EOF
+		}
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		r.buf = append(r.buf[:0], out...)
+		r.off = 0
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,255 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/memdos/sds/internal/feed"
+)
+
+// stream renders n synthetic feed CSV lines (with header).
+func stream(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString("t,access,miss\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g,%g,%g\n", float64(i+1)*0.01, 100+float64(i%7), 10+float64(i%3))
+	}
+	return b.Bytes()
+}
+
+// parseCounts replays a damaged stream through the feed parser and counts
+// parsed records and malformed lines.
+func parseCounts(t *testing.T, data []byte) (ok, bad int) {
+	t.Helper()
+	r := feed.NewReader(bytes.NewReader(data))
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return ok, bad
+		}
+		if err != nil {
+			bad++
+			continue
+		}
+		ok++
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	in := stream(200)
+	f := Faults{Seed: 42, SkipLines: 1, CorruptEvery: 7, TruncateEvery: 31}
+	a := Apply(in, f)
+	b := Apply(in, f)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same schedule produced different damage")
+	}
+	f2 := f
+	f2.Seed = 43
+	if bytes.Equal(a, Apply(in, f2)) {
+		t.Fatal("different seeds produced identical damage (corruption positions should differ)")
+	}
+	if bytes.Equal(a, in) {
+		t.Fatal("schedule injected nothing")
+	}
+}
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	in := stream(50)
+	if got := Apply(in, Faults{}); !bytes.Equal(got, in) {
+		t.Fatal("zero-value schedule damaged the stream")
+	}
+}
+
+// TestCorruptionAlwaysQuarantinable: every corrupted line fails to parse —
+// corruption can never silently become a different valid sample — and the
+// damage count is exactly the schedule's cadence.
+func TestCorruptionAlwaysQuarantinable(t *testing.T) {
+	const n, every = 400, 9
+	in := stream(n)
+	got := Apply(in, Faults{Seed: 3, SkipLines: 1, CorruptEvery: every})
+	ok, bad := parseCounts(t, got)
+	wantBad := n / every
+	if bad != wantBad {
+		t.Errorf("%d malformed lines, want %d", bad, wantBad)
+	}
+	if ok != n-wantBad {
+		t.Errorf("%d parsed records, want %d", ok, n-wantBad)
+	}
+}
+
+// TestTruncationMergesLines: a truncated line loses its newline and merges
+// with its successor into one malformed record — each truncation destroys
+// two records and yields one parse error.
+func TestTruncationMergesLines(t *testing.T) {
+	// n is chosen so the last truncated line (300) still has a successor.
+	const n, every = 301, 50
+	in := stream(n)
+	got := Apply(in, Faults{Seed: 5, SkipLines: 1, TruncateEvery: every})
+	ok, bad := parseCounts(t, got)
+	events := n / every
+	if bad != events {
+		t.Errorf("%d malformed lines, want %d", bad, events)
+	}
+	if ok != n-2*events {
+		t.Errorf("%d parsed records, want %d (each truncation takes its successor down too)", ok, n-2*events)
+	}
+}
+
+// TestReaderAbruptEOF: a drop schedule ends the wrapped reader with a clean
+// io.EOF after exactly N lines, mid-stream.
+func TestReaderAbruptEOF(t *testing.T) {
+	const n, dropAfter = 100, 37
+	r := NewReader(bytes.NewReader(stream(n)), Faults{SkipLines: 1, DropAfterLines: dropAfter})
+	fr := feed.NewReader(r)
+	got := 0
+	for {
+		_, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected parse error: %v", err)
+		}
+		got++
+	}
+	if got != dropAfter {
+		t.Errorf("reader yielded %d records before EOF, want %d", got, dropAfter)
+	}
+}
+
+// TestReaderMatchesApply: the streaming reader and the batch oracle produce
+// identical bytes for the same schedule.
+func TestReaderMatchesApply(t *testing.T) {
+	in := stream(250)
+	f := Faults{Seed: 11, SkipLines: 1, CorruptEvery: 13, TruncateEvery: 41, DropAfterLines: 200}
+	want := Apply(in, f)
+	got, err := io.ReadAll(NewReader(bytes.NewReader(in), f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("Reader output diverges from Apply oracle")
+	}
+}
+
+// fakeConn is a net.Conn that records write sizes and bytes.
+type fakeConn struct {
+	writes []int
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *fakeConn) Write(p []byte) (int, error) {
+	c.writes = append(c.writes, len(p))
+	return c.buf.Write(p)
+}
+func (c *fakeConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (c *fakeConn) Close() error                     { c.closed = true; return nil }
+func (c *fakeConn) LocalAddr() net.Addr              { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr             { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestConnMatchesApply: the conn wrapper delivers exactly the oracle bytes
+// even when the application writes in awkward chunk sizes.
+func TestConnMatchesApply(t *testing.T) {
+	in := stream(150)
+	f := Faults{Seed: 9, SkipLines: 2, CorruptEvery: 11, TruncateEvery: 29}
+	var fc fakeConn
+	c := Wrap(&fc, f)
+	for i := 0; i < len(in); i += 23 {
+		end := i + 23
+		if end > len(in) {
+			end = len(in)
+		}
+		if _, err := c.Write(in[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Apply(in, f); !bytes.Equal(fc.buf.Bytes(), want) {
+		t.Fatal("conn delivery diverges from Apply oracle")
+	}
+}
+
+// TestConnPartialWrites: every underlying write obeys the torn-write bound.
+func TestConnPartialWrites(t *testing.T) {
+	in := stream(40)
+	var fc fakeConn
+	c := Wrap(&fc, Faults{PartialWriteMax: 5})
+	if _, err := c.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fc.buf.Bytes(), in) {
+		t.Fatal("partial writes changed the byte stream")
+	}
+	for _, w := range fc.writes {
+		if w > 5 {
+			t.Fatalf("underlying write of %d bytes exceeds PartialWriteMax=5", w)
+		}
+	}
+	if len(fc.writes) <= 41 {
+		t.Fatalf("expected torn writes, got %d underlying writes for %d lines", len(fc.writes), 41)
+	}
+}
+
+// TestConnDrop: the drop fault closes the transport and fails the write,
+// and the failure is sticky.
+func TestConnDrop(t *testing.T) {
+	in := stream(100)
+	var fc fakeConn
+	c := Wrap(&fc, Faults{SkipLines: 1, DropAfterLines: 20})
+	_, err := c.Write(in)
+	if err != ErrDrop {
+		t.Fatalf("want ErrDrop, got %v", err)
+	}
+	if !fc.closed {
+		t.Error("underlying connection not closed on drop")
+	}
+	if _, err := c.Write([]byte("1,2,3\n")); err != ErrDrop {
+		t.Errorf("drop not sticky: %v", err)
+	}
+	// Exactly header + 20 data lines were delivered before the cut.
+	if want := Apply(in, Faults{SkipLines: 1, DropAfterLines: 20}); !bytes.Equal(fc.buf.Bytes(), want) {
+		t.Error("delivered prefix diverges from Apply oracle")
+	}
+}
+
+// TestConnFailWrites: after the cut-off, writes fail without delivering.
+func TestConnFailWrites(t *testing.T) {
+	in := stream(30)
+	var fc fakeConn
+	c := Wrap(&fc, Faults{FailWritesAfterLines: 10})
+	_, err := c.Write(in)
+	if err != ErrWriteFail {
+		t.Fatalf("want ErrWriteFail, got %v", err)
+	}
+	delivered := bytes.Count(fc.buf.Bytes(), []byte("\n"))
+	if delivered != 10 {
+		t.Errorf("%d lines delivered before failure, want 10", delivered)
+	}
+}
+
+// TestStallDelaysDelivery: stalls delay but never damage the stream.
+func TestStallDelaysDelivery(t *testing.T) {
+	in := stream(10)
+	var fc fakeConn
+	c := Wrap(&fc, Faults{SkipLines: 1, StallEvery: 5, Stall: time.Millisecond})
+	start := time.Now()
+	if _, err := c.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("two scheduled stalls took only %v", elapsed)
+	}
+	if !bytes.Equal(fc.buf.Bytes(), in) {
+		t.Error("stalls damaged the stream")
+	}
+}

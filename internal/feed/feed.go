@@ -16,6 +16,20 @@ import (
 	"github.com/memdos/sds/internal/pcm"
 )
 
+// ParseError describes one malformed line in an otherwise healthy stream.
+// The Reader keeps its position after returning one, so callers may treat
+// it as recoverable — quarantine the line and call Next again — while I/O
+// failures (which are not ParseErrors) remain fatal.
+type ParseError struct {
+	Line int    // 1-based physical line number
+	Text string // the offending line, as read
+	Err  error  // what was wrong with it
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("feed: line %d: %v", e.Line, e.Err) }
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Reader parses a PCM sample stream.
 type Reader struct {
 	scanner *bufio.Scanner
@@ -50,7 +64,7 @@ func (r *Reader) Next() (pcm.Sample, error) {
 			if first && isHeader(text) {
 				continue
 			}
-			return pcm.Sample{}, fmt.Errorf("feed: line %d: %w", r.line, err)
+			return pcm.Sample{}, &ParseError{Line: r.line, Text: text, Err: err}
 		}
 		return s, nil
 	}

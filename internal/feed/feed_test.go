@@ -2,6 +2,7 @@ package feed
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"strings"
@@ -108,6 +109,39 @@ func TestReaderErrors(t *testing.T) {
 				t.Fatalf("error %v lacks line number", err)
 			}
 		})
+	}
+}
+
+// TestReaderParseErrorIsRecoverable: a malformed line surfaces as a typed
+// *ParseError carrying the line number and raw text, and the reader keeps
+// its position — the caller can quarantine the line and keep consuming the
+// stream. This is the contract the server's quarantine path depends on.
+func TestReaderParseErrorIsRecoverable(t *testing.T) {
+	in := "t,access,miss\n0.01,100,10\nGARBAGE-LINE\n0.03,120,12\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("malformed line returned %T (%v), want *ParseError", err, err)
+	}
+	if pe.Line != 3 || pe.Text != "GARBAGE-LINE" {
+		t.Errorf("ParseError = %+v, want line 3 with the raw text", pe)
+	}
+	if !strings.HasPrefix(pe.Error(), "feed: line 3: ") {
+		t.Errorf("message %q lost the feed: line N: prefix", pe.Error())
+	}
+	s, err := r.Next()
+	if err != nil {
+		t.Fatalf("reader did not recover past the malformed line: %v", err)
+	}
+	if s.T != 0.03 {
+		t.Errorf("post-error sample = %+v, want t=0.03", s)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF after last sample, got %v", err)
 	}
 }
 

@@ -1,0 +1,197 @@
+// Package golden implements the repository's paper-fidelity conformance
+// fixtures: committed captures of figure tables and alarm transcripts at
+// fixed seeds, compared byte for byte on every test run. Any behavioural
+// drift in detect, signal, experiment or server fails the owning test with
+// a readable line diff; intentional changes regenerate every fixture with
+// the shared -update flag:
+//
+//	make goldens            # or: go test <golden packages> -update
+//
+// The flag is registered once here, so every test package that imports
+// golden accepts -update.
+package golden
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// update is the shared regeneration flag. It is defined in this package
+// (not per test file) so all golden suites regenerate with one command.
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// Update reports whether the test run was asked to regenerate fixtures.
+func Update() bool { return *update }
+
+// T is the subset of *testing.T golden needs (keeps the package usable
+// from helpers and testable itself).
+type T interface {
+	Helper()
+	Logf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Assert compares got against the fixture at path (relative to the test's
+// working directory, conventionally testdata/golden/<name>). On mismatch it
+// fails the test with a line diff; with -update it (re)writes the fixture
+// instead and logs the refresh.
+func Assert(t T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: create %s: %v", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden: write %s: %v", path, err)
+		}
+		t.Logf("golden: wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		// Return as well: a non-testing.T implementation of T may not stop
+		// the goroutine in Fatalf.
+		t.Fatalf("golden: read %s: %v (regenerate with -update)", path, err)
+		return
+	}
+	if string(want) == string(got) {
+		return
+	}
+	t.Fatalf("golden: output diverged from %s (regenerate intentional changes with -update)\n%s",
+		path, Diff(string(want), string(got)))
+}
+
+// AssertString is Assert for string output.
+func AssertString(t T, path, got string) {
+	t.Helper()
+	Assert(t, path, []byte(got))
+}
+
+// Diff renders a line-oriented diff between the fixture (want) and the new
+// output (got): common lines as context (elided when long), fixture-only
+// lines prefixed '-', new lines prefixed '+'. It is an LCS diff, exact for
+// fixture-sized inputs.
+func Diff(want, got string) string {
+	a := splitLines(want)
+	b := splitLines(got)
+	ops := diffOps(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- fixture (%d lines)\n+++ current (%d lines)\n", len(a), len(b))
+	// Collapse long runs of unchanged context to their edges.
+	const ctx = 2
+	for i := 0; i < len(ops); {
+		if ops[i].kind != opSame {
+			sb.WriteString(ops[i].String())
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) && ops[j].kind == opSame {
+			j++
+		}
+		run := ops[i:j]
+		if len(run) <= 2*ctx+1 {
+			for _, op := range run {
+				sb.WriteString(op.String())
+			}
+		} else {
+			head, tail := run[:ctx], run[len(run)-ctx:]
+			if i == 0 {
+				head = nil // no leading context before the first change
+			}
+			if j == len(ops) {
+				tail = nil // no trailing context after the last change
+			}
+			for _, op := range head {
+				sb.WriteString(op.String())
+			}
+			fmt.Fprintf(&sb, "  … %d unchanged lines …\n", len(run)-len(head)-len(tail))
+			for _, op := range tail {
+				sb.WriteString(op.String())
+			}
+		}
+		i = j
+	}
+	return sb.String()
+}
+
+type opKind byte
+
+const (
+	opSame opKind = iota
+	opDel         // in fixture, not in current output
+	opAdd         // in current output, not in fixture
+)
+
+type diffOp struct {
+	kind opKind
+	text string
+}
+
+func (o diffOp) String() string {
+	switch o.kind {
+	case opDel:
+		return "-" + o.text + "\n"
+	case opAdd:
+		return "+" + o.text + "\n"
+	default:
+		return " " + o.text + "\n"
+	}
+}
+
+// diffOps computes an LCS edit script between line slices a and b.
+func diffOps(a, b []string) []diffOp {
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opSame, a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDel, a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{opAdd, b[j]})
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		ops = append(ops, diffOp{opDel, a[i]})
+	}
+	for ; j < len(b); j++ {
+		ops = append(ops, diffOp{opAdd, b[j]})
+	}
+	return ops
+}
+
+// splitLines splits on '\n' without producing a phantom empty line for a
+// trailing newline.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	s = strings.TrimSuffix(s, "\n")
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,117 @@
+package golden
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeT captures Fatalf/Logf calls so Assert's failure paths are testable.
+type fakeT struct {
+	fatals []string
+	logs   []string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+}
+
+func TestAssertMatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fix.txt")
+	if err := os.WriteFile(path, []byte("a\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ft fakeT
+	Assert(&ft, path, []byte("a\nb\n"))
+	if len(ft.fatals) != 0 {
+		t.Fatalf("matching output failed: %v", ft.fatals)
+	}
+}
+
+func TestAssertMismatchPrintsDiff(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fix.txt")
+	if err := os.WriteFile(path, []byte("alpha\nbeta\ngamma\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ft fakeT
+	Assert(&ft, path, []byte("alpha\nBETA\ngamma\n"))
+	if len(ft.fatals) != 1 {
+		t.Fatalf("expected one failure, got %v", ft.fatals)
+	}
+	msg := ft.fatals[0]
+	for _, want := range []string{"-beta", "+BETA", " alpha", "-update"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diff output missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestAssertMissingFixture(t *testing.T) {
+	var ft fakeT
+	Assert(&ft, filepath.Join(t.TempDir(), "absent.txt"), []byte("x"))
+	if len(ft.fatals) != 1 || !strings.Contains(ft.fatals[0], "-update") {
+		t.Fatalf("missing fixture should fail with a regeneration hint, got %v", ft.fatals)
+	}
+}
+
+func TestAssertUpdateWritesFixture(t *testing.T) {
+	old := *update
+	*update = true
+	defer func() { *update = old }()
+
+	path := filepath.Join(t.TempDir(), "golden", "new.txt")
+	var ft fakeT
+	Assert(&ft, path, []byte("fresh\n"))
+	if len(ft.fatals) != 0 {
+		t.Fatalf("update mode failed: %v", ft.fatals)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "fresh\n" {
+		t.Fatalf("fixture not written: %q, %v", got, err)
+	}
+}
+
+func TestDiffContextElision(t *testing.T) {
+	var a, b strings.Builder
+	for i := 0; i < 40; i++ {
+		line := fmt.Sprintf("line %d", i)
+		a.WriteString(line + "\n")
+		if i == 20 {
+			line = "CHANGED"
+		}
+		b.WriteString(line + "\n")
+	}
+	d := Diff(a.String(), b.String())
+	if !strings.Contains(d, "unchanged lines") {
+		t.Errorf("long common runs not elided:\n%s", d)
+	}
+	if !strings.Contains(d, "-line 20") || !strings.Contains(d, "+CHANGED") {
+		t.Errorf("changed line not shown:\n%s", d)
+	}
+	// The elided diff must stay far shorter than the full inputs.
+	if strings.Count(d, "\n") > 20 {
+		t.Errorf("diff did not elide context (%d lines)", strings.Count(d, "\n"))
+	}
+}
+
+func TestDiffPureAddRemove(t *testing.T) {
+	d := Diff("a\n", "a\nb\n")
+	if !strings.Contains(d, "+b") {
+		t.Errorf("added line missing:\n%s", d)
+	}
+	d = Diff("a\nb\n", "a\n")
+	if !strings.Contains(d, "-b") {
+		t.Errorf("removed line missing:\n%s", d)
+	}
+	if got := Diff("", ""); !strings.Contains(got, "0 lines") {
+		t.Errorf("empty diff header wrong:\n%s", got)
+	}
+}

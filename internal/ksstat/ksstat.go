@@ -35,11 +35,20 @@ func StatisticSorted(sa, sb []float64) (float64, error) {
 	)
 	na, nb := float64(len(sa)), float64(len(sb))
 	for i < len(sa) && j < len(sb) {
-		va, vb := sa[i], sb[j]
-		if va <= vb {
+		// The empirical CDFs only change at data points, so evaluate the
+		// distance once per distinct value: advance both cursors through
+		// every duplicate of the smaller current value first. Evaluating
+		// mid-run through a tie shared by both samples would compare CDFs
+		// at a point where neither is fully stepped, inflating D (two
+		// all-equal windows must have D = 0, not a spurious n/m mismatch).
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
 			i++
 		}
-		if vb <= va {
+		for j < len(sb) && sb[j] == v {
 			j++
 		}
 		diff := math.Abs(float64(i)/na - float64(j)/nb)

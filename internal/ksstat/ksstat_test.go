@@ -201,3 +201,85 @@ func TestCriticalValueConsistentWithPValue(t *testing.T) {
 		t.Fatalf("p below critical = %v, want > %v", p, alpha)
 	}
 }
+
+// TestStatisticEdgeCases is the table-driven boundary sweep: tied samples,
+// single- and two-sample windows, all-equal windows, and unequal lengths —
+// the degenerate shapes a live detector window can take right after the
+// profile boundary or during a stalled stream.
+func TestStatisticEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical n=1", []float64{5}, []float64{5}, 0},
+		{"disjoint n=1", []float64{1}, []float64{2}, 1},
+		{"n=1 vs n=2 straddling", []float64{2}, []float64{1, 3}, 0.5},
+		{"identical n=2", []float64{1, 2}, []float64{1, 2}, 0},
+		{"disjoint n=2", []float64{1, 2}, []float64{3, 4}, 1},
+		{"all-equal windows same value", []float64{7, 7, 7}, []float64{7, 7, 7, 7}, 0},
+		{"all-equal windows different value", []float64{7, 7, 7}, []float64{8, 8}, 1},
+		{"heavy ties across both", []float64{1, 1, 2, 2}, []float64{1, 2, 2, 2}, 0.25},
+		{"ties at the supremum", []float64{1, 1, 1, 2}, []float64{1, 2, 2, 2}, 0.5},
+		{"unequal lengths identical support", []float64{1, 2, 3, 4, 5, 6}, []float64{1, 3, 5}, 1.0 / 6},
+		{"singleton inside long run", []float64{3}, []float64{1, 2, 3, 4, 5}, 0.4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Statistic(tt.a, tt.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("D(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			// Symmetry must hold on every edge shape.
+			rev, err := Statistic(tt.b, tt.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-rev) > 1e-12 {
+				t.Errorf("D asymmetric: %v vs %v", got, rev)
+			}
+			// The sorted fast path must agree with the allocating one.
+			sa, sb := sortedCopy(tt.a), sortedCopy(tt.b)
+			fast, err := StatisticSorted(sa, sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != got {
+				t.Errorf("StatisticSorted = %v, Statistic = %v", fast, got)
+			}
+		})
+	}
+}
+
+// TestRejectEdgeCases: tiny and degenerate windows never reject at any
+// reasonable level — n=1 and n=2 carry too little evidence even when the
+// samples are disjoint — and empty windows error rather than decide.
+func TestRejectEdgeCases(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		a, b []float64
+	}{
+		{"disjoint n=1", []float64{1}, []float64{100}},
+		{"disjoint n=2", []float64{1, 2}, []float64{100, 200}},
+		{"all-equal vs all-equal", []float64{5, 5}, []float64{9, 9}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			reject, err := Reject(tt.a, tt.b, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reject {
+				t.Errorf("rejected with %d vs %d samples — too little evidence", len(tt.a), len(tt.b))
+			}
+		})
+	}
+	if _, err := Reject(nil, []float64{1}, 0.05); err == nil {
+		t.Error("empty window decided instead of erroring")
+	}
+	if _, err := Reject([]float64{1}, []float64{}, 0.05); err == nil {
+		t.Error("empty window decided instead of erroring")
+	}
+}

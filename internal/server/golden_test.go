@@ -1,0 +1,54 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds/internal/golden"
+)
+
+// TestGoldenSDSDTranscript pins the complete wire transcript of one sdsd
+// stream connection — the ok line, every inline alarm line, and the done
+// summary, in order — for a fixed-seed attacked k-means stream. This is
+// the server-side conformance contract: any change to the wire format, the
+// session lifecycle, or the detection pipeline shows up as a line diff.
+// Intentional changes regenerate with -update (make goldens).
+func TestGoldenSDSDTranscript(t *testing.T) {
+	var stream bytes.Buffer
+	if _, err := WriteSimulatedStream(&stream, ReplaySpec{
+		App: "kmeans", Seconds: 160, AttackAt: 100, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, addr := startServer(t, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	transcript := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		transcript <- sb.String()
+	}()
+	if _, err := conn.Write([]byte("sds/1 vm=golden app=kmeans scheme=sds profile=60\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(stream.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+
+	golden.AssertString(t, "testdata/golden/sdsd_transcript.txt", <-transcript)
+}

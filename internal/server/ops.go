@@ -15,6 +15,8 @@ type VMMetrics struct {
 	ProfileSamples int     `json:"profile_samples"`
 	Monitored      uint64  `json:"monitored"`
 	Dropped        uint64  `json:"dropped"`
+	Quarantined    uint64  `json:"quarantined"`
+	Resumes        int     `json:"resumes"`
 	Alarms         int     `json:"alarms"`
 	Alarmed        bool    `json:"alarmed"`
 	LastT          float64 `json:"last_t"`
@@ -27,6 +29,8 @@ type Metrics struct {
 	ActiveVMs        int                  `json:"active_vms"`
 	TotalSamples     uint64               `json:"total_samples"`
 	TotalAlarms      uint64               `json:"total_alarms"`
+	TotalQuarantined uint64               `json:"total_quarantined"`
+	IdleEvictions    uint64               `json:"idle_evictions"`
 	SamplesPerSecond float64              `json:"samples_per_second"`
 	AlarmedVMs       []string             `json:"alarmed_vms"`
 	VMs              map[string]VMMetrics `json:"vms"`
@@ -36,23 +40,27 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	type entry struct {
-		vm string
-		st *vmState
+		vm      string
+		st      *vmState
+		resumes int
 	}
 	entries := make([]entry, 0, len(s.order))
 	for _, vm := range s.order {
 		if st, ok := s.sessions[vm]; ok {
-			entries = append(entries, entry{vm, st})
+			// resumes is guarded by s.mu; copy it while we hold the lock.
+			entries = append(entries, entry{vm, st, st.resumes})
 		}
 	}
 	s.mu.Unlock()
 
 	m := Metrics{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		TotalSamples:  s.totalSamples.Load(),
-		TotalAlarms:   s.totalAlarms.Load(),
-		AlarmedVMs:    s.fleet.AlarmedVMs(),
-		VMs:           make(map[string]VMMetrics, len(entries)),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		TotalSamples:     s.totalSamples.Load(),
+		TotalAlarms:      s.totalAlarms.Load(),
+		TotalQuarantined: s.totalQuarantined.Load(),
+		IdleEvictions:    s.idleEvictions.Load(),
+		AlarmedVMs:       s.fleet.AlarmedVMs(),
+		VMs:              make(map[string]VMMetrics, len(entries)),
 	}
 	if m.AlarmedVMs == nil {
 		m.AlarmedVMs = []string{}
@@ -74,6 +82,8 @@ func (s *Server) Metrics() Metrics {
 			ProfileSamples: st.ProfileSamples,
 			Monitored:      st.Monitored,
 			Dropped:        st.Dropped,
+			Quarantined:    e.st.quarantined.Load(),
+			Resumes:        e.resumes,
 			Alarms:         st.Alarms,
 			Alarmed:        st.Alarmed,
 			LastT:          st.LastT,

@@ -55,6 +55,16 @@ type Options struct {
 	// worker falls behind, the reader blocks — backpressure propagates to
 	// the client through TCP instead of growing memory.
 	BufferSamples int
+	// IdleTimeout evicts a connection whose client sends nothing for this
+	// long: the session ends as if the stream closed, so a wedged client
+	// cannot hold its VM slot (and its fleet registration) forever.
+	// 0 disables idle eviction.
+	IdleTimeout time.Duration
+	// MaxResumes bounds how many times a VM id may reconnect and resume a
+	// session that is still inside its Stage-1 profiling window (default 3;
+	// negative disables resumption). Once profiling has completed — or the
+	// budget is spent — a reconnect starts a fresh session, as before.
+	MaxResumes int
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -76,8 +86,10 @@ type Server struct {
 	wg       sync.WaitGroup // connection handlers
 	draining atomic.Bool
 
-	totalSamples atomic.Uint64
-	totalAlarms  atomic.Uint64
+	totalSamples     atomic.Uint64
+	totalAlarms      atomic.Uint64
+	totalQuarantined atomic.Uint64
+	idleEvictions    atomic.Uint64
 }
 
 // vmState tracks one VM's stream across its lifetime (it outlives the
@@ -85,6 +97,17 @@ type Server struct {
 type vmState struct {
 	sess      *Session
 	connected atomic.Bool
+	// spec is the resolved stream spec, kept so a reconnect can be checked
+	// for compatibility before resuming the session.
+	spec StreamSpec
+	// sink is the current connection's writer; alarms route through it so a
+	// resumed session reports to the live connection, not the dead one. Nil
+	// for in-process streams.
+	sink atomic.Pointer[connWriter]
+	// resumes counts profile-window resumptions (guarded by Server.mu).
+	resumes int
+	// quarantined counts malformed lines isolated from this VM's stream.
+	quarantined atomic.Uint64
 }
 
 // New returns a Server with the given defaults.
@@ -106,6 +129,9 @@ func New(opts Options) *Server {
 	}
 	if opts.BufferSamples <= 0 {
 		opts.BufferSamples = 1024
+	}
+	if opts.MaxResumes == 0 {
+		opts.MaxResumes = 3
 	}
 	return &Server{
 		opts:      opts,
@@ -237,10 +263,110 @@ func (s *Server) register(vm string, sess *Session) (*vmState, error) {
 	return st, nil
 }
 
+// attach binds a stream connection to its VM state. A reconnect for a VM
+// whose previous connection died inside the Stage-1 profiling window — with
+// a matching spec and resume budget left — resumes the existing session
+// where it left off (resumed=true); anything else installs a fresh session,
+// replacing disconnected state like register. Duplicate active VM ids are
+// rejected either way.
+func (s *Server) attach(spec StreamSpec, cw *connWriter) (st *vmState, resumed bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, known := s.sessions[spec.VM]
+	if known && st.connected.Load() {
+		return nil, false, fmt.Errorf("vm %q is already streaming", spec.VM)
+	}
+	if known && st.sink.Load() != nil && st.sess.Profiling() &&
+		st.resumes < s.opts.MaxResumes && resumable(st.spec, spec) {
+		st.resumes++
+		st.sink.Store(cw)
+		st.connected.Store(true)
+		if err := s.fleet.Protect(spec.VM, detectorView{st.sess}); err != nil {
+			st.connected.Store(false)
+			return nil, false, err
+		}
+		return st, true, nil
+	}
+	if !known {
+		s.order = append(s.order, spec.VM)
+	}
+	st = &vmState{spec: spec}
+	st.sink.Store(cw)
+	sess, err := NewSession(s.instrument(spec, st))
+	if err != nil {
+		return nil, false, err
+	}
+	st.sess = sess
+	st.connected.Store(true)
+	s.sessions[spec.VM] = st
+	if err := s.fleet.Protect(spec.VM, detectorView{sess}); err != nil {
+		return nil, false, err
+	}
+	return st, false, nil
+}
+
+// resumable reports whether a reconnect's spec is compatible with the
+// session it wants to resume: the lifecycle parameters must match, or the
+// half-built profile would not mean what the new handshake asked for.
+func resumable(old, new StreamSpec) bool {
+	return old.App == new.App && old.Scheme == new.Scheme &&
+		old.ProfileSeconds == new.ProfileSeconds
+}
+
+// instrument wires a connection-backed spec's callbacks: alarms go to the
+// VM's current sink (so resumption redirects them to the live connection)
+// and never poison the session — a client that died mid-drain must not cost
+// the surviving buffered samples their processing.
+func (s *Server) instrument(spec StreamSpec, st *vmState) StreamSpec {
+	vm := spec.VM
+	spec.OnAlarm = func(a detect.Alarm) error {
+		s.totalAlarms.Add(1)
+		s.logf("vm %s: ALARM %s (%s) at %.2fs: %s", vm, a.Detector, a.Metric, a.T, a.Reason)
+		if cw := st.sink.Load(); cw != nil {
+			if err := cw.line("alarm %s", alarmJSON(a)); err != nil {
+				// The client is gone; the alarm stays in the session record
+				// and on /metricsz. Poisoning the session here would discard
+				// every sample still buffered behind this one.
+				s.logf("vm %s: client gone, alarm not delivered: %v", vm, err)
+			}
+		}
+		return nil
+	}
+	spec.OnProfile = func(p detect.Profile, n int) {
+		s.logf("vm %s: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)",
+			vm, p.App, n, p.MeanAccess, p.StdAccess, p.Periodic)
+	}
+	return spec
+}
+
 // release marks vm's stream ended and removes it from the active fleet.
 func (s *Server) release(vm string, st *vmState) {
 	st.connected.Store(false)
 	s.fleet.Unprotect(vm)
+}
+
+// idleConn arms a rolling read deadline so a silent client cannot hold its
+// VM slot forever. Shutdown's deadline interrupt must win the race with
+// re-arming, so after each arm the draining flag is re-checked and the
+// deadline snapped back to now. evicted distinguishes a genuine idle
+// timeout from the shutdown interrupt, which uses the same error.
+type idleConn struct {
+	net.Conn
+	idle     time.Duration
+	draining *atomic.Bool
+	evicted  atomic.Bool
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(c.idle))
+	if c.draining.Load() {
+		c.Conn.SetReadDeadline(time.Now())
+	}
+	n, err := c.Conn.Read(p)
+	if err != nil && isDeadlineErr(err) && !c.draining.Load() {
+		c.evicted.Store(true)
+	}
+	return n, err
 }
 
 // handleConn runs one VM stream: handshake, then a bounded-buffer pipeline
@@ -254,35 +380,39 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	cw := &connWriter{w: bufio.NewWriter(conn)}
-	br := bufio.NewReaderSize(conn, 64*1024)
+	var idler *idleConn
+	src := conn
+	if s.opts.IdleTimeout > 0 {
+		idler = &idleConn{Conn: conn, idle: s.opts.IdleTimeout, draining: &s.draining}
+		src = idler
+	}
+	br := bufio.NewReaderSize(src, 64*1024)
 	h, err := readHandshake(br)
 	if err != nil {
 		cw.line("error: %v", err)
 		return
 	}
-	spec := s.streamSpec(h)
-	spec.OnAlarm = func(a detect.Alarm) error {
-		s.totalAlarms.Add(1)
-		s.logf("vm %s: ALARM %s (%s) at %.2fs: %s", h.vm, a.Detector, a.Metric, a.T, a.Reason)
-		return cw.line("alarm %s", alarmJSON(a))
-	}
-	spec.OnProfile = func(p detect.Profile, n int) {
-		s.logf("vm %s: profiled %s over %d samples (μ_access=%.4g σ=%.4g periodic=%v)",
-			h.vm, p.App, n, p.MeanAccess, p.StdAccess, p.Periodic)
-	}
-	sess, err := NewSession(spec)
-	if err != nil {
-		cw.line("error: %v", err)
-		return
-	}
-	st, err := s.register(h.vm, sess)
+	st, resumed, err := s.attach(s.streamSpec(h), cw)
 	if err != nil {
 		cw.line("error: %v", err)
 		return
 	}
 	defer s.release(h.vm, st)
-	s.logf("vm %s: stream open (app=%s scheme=%s profile=%gs)", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
-	if err := cw.line("ok vm=%s app=%s scheme=%s profile=%g", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds); err != nil {
+	sess, spec := st.sess, st.spec
+	// A resumed client replays its stream from the start; samples at or
+	// before the high-water mark were already ingested and are skipped so
+	// the session sees each sample exactly once, in order.
+	var resumeT float64
+	if resumed {
+		resumeT = sess.Stats().LastT
+		s.logf("vm %s: stream resumed (resume %d, last_t=%g)", h.vm, st.resumes, resumeT)
+		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g resumed=%d last_t=%g",
+			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, st.resumes, resumeT)
+	} else {
+		s.logf("vm %s: stream open (app=%s scheme=%s profile=%gs)", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
+		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
+	}
+	if err != nil {
 		return
 	}
 
@@ -309,6 +439,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	var readErr error
+	evicted := false
 	reader := feed.NewReader(br)
 	for {
 		smp, err := reader.Next()
@@ -316,10 +447,28 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		if err != nil {
-			if !isDeadlineErr(err) {
+			var pe *feed.ParseError
+			if errors.As(err, &pe) {
+				// Malformed line: quarantine it and keep the connection —
+				// one torn write must not kill an otherwise healthy stream.
+				st.quarantined.Add(1)
+				s.totalQuarantined.Add(1)
+				s.logf("vm %s: quarantined malformed line %d: %v", h.vm, pe.Line, pe.Err)
+				continue
+			}
+			if isDeadlineErr(err) {
+				if idler != nil && idler.evicted.Load() {
+					evicted = true
+					s.idleEvictions.Add(1)
+				}
+				// Otherwise: shutdown interrupt — end of stream, drain.
+			} else {
 				readErr = err
 			}
 			break
+		}
+		if resumed && smp.T <= resumeT {
+			continue
 		}
 		ch <- smp
 	}
@@ -332,6 +481,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		cw.line("error: %v", procErr)
 	case readErr != nil:
 		cw.line("error: %v", readErr)
+	case evicted:
+		cw.line("error: idle timeout: no samples for %v", s.opts.IdleTimeout)
 	case closeErr != nil:
 		cw.line("error: %v", closeErr)
 	}

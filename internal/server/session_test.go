@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"testing"
 
 	"github.com/memdos/sds/internal/detect"
+	"github.com/memdos/sds/internal/feed"
 	"github.com/memdos/sds/internal/pcm"
 )
 
@@ -234,5 +237,61 @@ func TestSessionAlarmCallbackError(t *testing.T) {
 	}
 	if err := sess.Observe(synthSample(0, 0.01, 5)); err == nil {
 		t.Error("poisoned session accepted another sample")
+	}
+}
+
+// TestSessionAlarmAtProfileBoundary: an attack that begins exactly at the
+// profile/monitor boundary is detected — the boundary sample opens the
+// monitored stage instead of leaking into the profile, so no attacked
+// telemetry trains the baseline and the alarm lands shortly after the
+// boundary, never before it.
+func TestSessionAlarmAtProfileBoundary(t *testing.T) {
+	const profileSeconds = 60.0
+	var buf bytes.Buffer
+	if _, err := WriteSimulatedStream(&buf, ReplaySpec{
+		App: "kmeans", Seconds: 120, AttackAt: profileSeconds, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var alarms []detect.Alarm
+	sess, err := NewSession(StreamSpec{
+		VM: "boundary", App: "kmeans", Scheme: "sds", ProfileSeconds: profileSeconds,
+		OnAlarm: func(a detect.Alarm) error { alarms = append(alarms, a); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := feed.NewReader(&buf)
+	for {
+		smp, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Observe(smp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window [0.01, 60.01) holds exactly 6000 samples; sample 6001 at
+	// t=60.01 is the first monitored one.
+	if stats.ProfileSamples != 6000 {
+		t.Errorf("profile holds %d samples, want 6000", stats.ProfileSamples)
+	}
+	if stats.Monitored != 6000 {
+		t.Errorf("monitored %d samples, want 6000", stats.Monitored)
+	}
+	if len(alarms) == 0 {
+		t.Fatal("attack starting at the profile boundary was not detected")
+	}
+	for _, a := range alarms {
+		if a.T <= profileSeconds {
+			t.Errorf("alarm at t=%g predates the monitored stage", a.T)
+		}
 	}
 }
