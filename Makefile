@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all cover cover-check chaos goldens verify repro smoke fuzz-smoke clean
+.PHONY: all build test race vet bench bench-all bench-scale bench-check cover cover-check chaos goldens verify repro smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -19,13 +19,34 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Run the root benchmark suite with fixed iteration counts (the figure
-# benchmarks seed each iteration separately, so time-based -benchtime can
-# step onto seeds outside the profiled regime) and record the measurements
-# in the machine-readable benchmark trajectory BENCH_PR3.json.
+# Record the PR's benchmark trajectory BENCH_PR$(BENCH_PR).json. The root
+# figure benchmarks run with fixed iteration counts (they seed each iteration
+# separately, so time-based -benchtime can step onto seeds outside the
+# profiled regime); the hot-path microbenchmarks in feed/detect/server run
+# with the default time budget for stable ns/op. When a scale run has left
+# bench_scale.txt behind (make bench-scale), its sustained-throughput lines
+# are merged into the same trajectory.
+BENCH_PR ?= 6
+BENCH_FIGURES := Table1Defaults|Fig|Sec32FalseAlarmRates|Ablation
+BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve
 bench:
-	$(GO) test -run=NONE -bench=. -benchmem -benchtime=10x . | tee bench_output.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR3.json < bench_output.txt
+	$(GO) test -run=NONE -bench='$(BENCH_FIGURES)' -benchmem -benchtime=10x . | tee bench_output.txt
+	$(GO) test -run=NONE -bench='$(BENCH_MICRO)' -benchmem . | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/feed ./internal/detect ./internal/server | tee -a bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR$(BENCH_PR).json bench_output.txt $(wildcard bench_scale.txt)
+
+# The 10k-stream ingest scale run (binary + CSV baseline); appends its
+# sustained samples/sec to bench_scale.txt for `make bench` to pick up.
+bench-scale:
+	./scripts/scale_sdsload.sh
+
+# Gate the newest trajectory against the previous one: any allocs/op
+# increase, or >10% ns/op regression on the tracked hot paths, fails.
+bench-check:
+	@set -- $$(ls BENCH_PR*.json 2>/dev/null | sort -V); \
+	if [ $$# -lt 2 ]; then echo "bench-check: fewer than two trajectories, nothing to gate"; exit 0; fi; \
+	while [ $$# -gt 2 ]; do shift; done; \
+	$(GO) run ./cmd/benchdiff -old "$$1" -new "$$2"
 
 # Benchmark everything (slower; no JSON emission).
 bench-all:
@@ -76,12 +97,14 @@ repro:
 smoke:
 	./scripts/smoke_sdsd.sh
 
-# Short fuzz pass over the feed parser (one run per target: go test -fuzz
-# accepts a single match).
+# Short fuzz pass over the feed parsers — CSV and the binary frame codec
+# (one run per target: go test -fuzz accepts a single match).
 fuzz-smoke:
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzParseLine -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzRoundTrip -fuzztime=5s
+	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzBinReader -fuzztime=5s
+	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzBinRoundTrip -fuzztime=5s
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_scale.txt

@@ -1,0 +1,130 @@
+// Command benchdiff compares two benchmark trajectories (BENCH_PR*.json
+// files, as written by benchjson) and exits non-zero when the newer one
+// regresses — the CI gate that keeps the ingest and detection hot paths from
+// backsliding between PRs:
+//
+//	benchdiff -old BENCH_PR3.json -new BENCH_PR6.json
+//
+// Two gates apply to every benchmark present in both files:
+//
+//   - allocs/op may never increase. Allocation counts are deterministic per
+//     build, so this gate is machine-independent and has no tolerance.
+//   - ns/op may not regress by more than -ns-tol (default 10%). Wall-clock
+//     measurements are noisy across machines and noisy neighbors, so the
+//     gate is restricted to the benchmarks matching -ns-match — by default
+//     the detector Observe, FFT/ACF and server ingest hot paths the
+//     repository tracks PR over PR — and only applies when the baseline was
+//     measured over at least -ns-min-iters iterations (early trajectories
+//     recorded microbenchmarks at -benchtime=10x; ten iterations of a 30 ns
+//     operation is noise, not a baseline).
+//
+// Benchmarks that appear in only one trajectory are reported but do not
+// fail the gate (suites grow and get renamed); the comparison count is
+// printed so an accidentally empty intersection is visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// defaultNSMatch selects the hot-path benchmarks whose wall-clock time is
+// gated: detector Observe paths, the FFT/ACF signal kernels, and the server
+// ingest plane (session batches and the sdsload scale-run lines).
+const defaultNSMatch = `Observe|FFT|ACF|PeriodEstimat|ServerIngest|ReadFrame|ReadSample`
+
+// Result mirrors benchjson's recorded measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline trajectory (required)")
+	newPath := flag.String("new", "", "candidate trajectory (required)")
+	nsTol := flag.Float64("ns-tol", 0.10, "allowed fractional ns/op regression")
+	nsMatch := flag.String("ns-match", defaultNSMatch, "regexp of benchmarks whose ns/op is gated")
+	nsMinIters := flag.Int64("ns-min-iters", 50, "baseline iterations below which ns/op is not gated")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*nsMatch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -ns-match:", err)
+		os.Exit(2)
+	}
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	compared, violations := diff(oldRes, newRes, *nsTol, *nsMinIters, re)
+	for _, v := range violations {
+		fmt.Println("FAIL:", v)
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared (%s -> %s), %d regressions\n",
+		compared, *oldPath, *newPath, len(violations))
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: the trajectories share no benchmarks")
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res map[string]Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// diff applies both gates to the benchmarks common to old and new, returning
+// how many were compared and one message per violation, in name order.
+func diff(oldRes, newRes map[string]Result, nsTol float64, nsMinIters int64, nsGated *regexp.Regexp) (int, []string) {
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var violations []string
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		if n.AllocsPerOp > o.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %g -> %g (allocations may never increase)",
+				name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+		if nsGated.MatchString(name) && o.Iterations >= nsMinIters &&
+			o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+nsTol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ns/op %.1f -> %.1f (+%.1f%%, tolerance %.0f%%)",
+				name, o.NsPerOp, n.NsPerOp, (n.NsPerOp/o.NsPerOp-1)*100, nsTol*100))
+		}
+	}
+	return len(names), violations
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var gate = regexp.MustCompile(defaultNSMatch)
+
+// TestDiffGates: the two gate rules — any allocs/op increase fails, ns/op
+// regressions fail only past the tolerance and only on gated names.
+func TestDiffGates(t *testing.T) {
+	oldRes := map[string]Result{
+		"BenchmarkSDSObserve":          {NsPerOp: 100, AllocsPerOp: 0, Iterations: 1000},
+		"BenchmarkFFT1024":             {NsPerOp: 5000, AllocsPerOp: 0, Iterations: 1000},
+		"BenchmarkFig9Recall":          {NsPerOp: 1e9, AllocsPerOp: 1000, Iterations: 1000},
+		"BenchmarkGoneNextTrack":       {NsPerOp: 10, AllocsPerOp: 0, Iterations: 1000},
+		"BenchmarkSessionObserveBatch": {NsPerOp: 20000, AllocsPerOp: 0, Iterations: 1000},
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkSDSObserve":          {NsPerOp: 105, AllocsPerOp: 0, Iterations: 1000},  // +5% < tol
+			"BenchmarkFFT1024":             {NsPerOp: 4000, AllocsPerOp: 0, Iterations: 1000}, // faster
+			"BenchmarkFig9Recall":          {NsPerOp: 5e9, AllocsPerOp: 900, Iterations: 1000},
+			"BenchmarkSessionObserveBatch": {NsPerOp: 21000, AllocsPerOp: 0, Iterations: 1000},
+			"BenchmarkBrandNew":            {NsPerOp: 1, AllocsPerOp: 99, Iterations: 1000},
+		}
+		compared, violations := diff(oldRes, newRes, 0.10, 50, gate)
+		if compared != 4 {
+			t.Errorf("compared %d benchmarks, want the 4 common ones", compared)
+		}
+		if len(violations) != 0 {
+			t.Errorf("clean trajectory flagged: %v", violations)
+		}
+	})
+
+	t.Run("ns regression on gated benchmark", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkSDSObserve": {NsPerOp: 150, AllocsPerOp: 0, Iterations: 1000},
+		}
+		_, violations := diff(oldRes, newRes, 0.10, 50, gate)
+		if len(violations) != 1 || !strings.Contains(violations[0], "ns/op") {
+			t.Errorf("+50%% on a gated hot path not flagged: %v", violations)
+		}
+	})
+
+	t.Run("ns regression on ungated benchmark passes", func(t *testing.T) {
+		// Figure benchmarks are wall-clock noisy end-to-end sims; ns/op is
+		// not gated for them (allocs/op still is).
+		newRes := map[string]Result{
+			"BenchmarkFig9Recall": {NsPerOp: 9e9, AllocsPerOp: 1000, Iterations: 1000},
+		}
+		if _, violations := diff(oldRes, newRes, 0.10, 50, gate); len(violations) != 0 {
+			t.Errorf("ungated benchmark's ns/op flagged: %v", violations)
+		}
+	})
+
+	t.Run("noise baseline is not ns-gated", func(t *testing.T) {
+		// A baseline recorded over 10 iterations (the -benchtime=10x era)
+		// cannot anchor a wall-clock gate; allocs/op still applies.
+		old := map[string]Result{
+			"BenchmarkSDSObserve": {NsPerOp: 30, AllocsPerOp: 0, Iterations: 10},
+		}
+		newRes := map[string]Result{
+			"BenchmarkSDSObserve": {NsPerOp: 70, AllocsPerOp: 0, Iterations: 1000000},
+		}
+		if _, violations := diff(old, newRes, 0.10, 50, gate); len(violations) != 0 {
+			t.Errorf("10-iteration baseline anchored an ns gate: %v", violations)
+		}
+		newRes["BenchmarkSDSObserve"] = Result{NsPerOp: 70, AllocsPerOp: 1, Iterations: 1000000}
+		if _, violations := diff(old, newRes, 0.10, 50, gate); len(violations) != 1 {
+			t.Errorf("alloc gate must still apply to noise baselines: %v", violations)
+		}
+	})
+
+	t.Run("alloc increase fails anywhere", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkFig9Recall":          {NsPerOp: 1e9, AllocsPerOp: 1001, Iterations: 1000},
+			"BenchmarkSessionObserveBatch": {NsPerOp: 20000, AllocsPerOp: 1, Iterations: 1000},
+		}
+		_, violations := diff(oldRes, newRes, 0.10, 50, gate)
+		if len(violations) != 2 {
+			t.Fatalf("want 2 alloc violations, got %v", violations)
+		}
+		for _, v := range violations {
+			if !strings.Contains(v, "allocs/op") {
+				t.Errorf("violation %q is not the alloc gate", v)
+			}
+		}
+	})
+}
+
+// TestDefaultGateCoversHotPaths: the default -ns-match must keep the
+// benchmarks named by the tracking policy under the wall-clock gate.
+func TestDefaultGateCoversHotPaths(t *testing.T) {
+	for _, name := range []string{
+		"BenchmarkSDSObserve",
+		"BenchmarkKSTestObserve",
+		"BenchmarkFleetObserveParallel",
+		"BenchmarkFFT1024",
+		"BenchmarkACFDirect2048",
+		"BenchmarkPeriodEstimate34",
+		"BenchmarkSessionObserveBatch",
+		"BenchmarkServerIngestBin10000VMs",
+		"BenchmarkBinReadFrame",
+		"BenchmarkCSVReadSample",
+	} {
+		if !gate.MatchString(name) {
+			t.Errorf("default ns gate does not cover %s", name)
+		}
+	}
+	for _, name := range []string{"BenchmarkFig9Recall", "BenchmarkTable1Defaults"} {
+		if gate.MatchString(name) {
+			t.Errorf("default ns gate covers noisy end-to-end benchmark %s", name)
+		}
+	}
+}

@@ -1,10 +1,15 @@
 // Command benchjson converts `go test -bench` output into the repository's
 // machine-readable benchmark-trajectory format (BENCH_PR*.json): a JSON
-// object mapping benchmark name → {ns/op, B/op, allocs/op}. It reads the
-// bench output on stdin and writes JSON to stdout (or -o FILE):
+// object mapping benchmark name → {ns/op, B/op, allocs/op}. It reads bench
+// output from the files named as arguments — stdin when none are given —
+// and writes JSON to stdout (or -o FILE):
 //
 //	go test -run=NONE -bench=. -benchmem -benchtime=10x . | benchjson -o BENCH_PR3.json
+//	benchjson -o BENCH_PR6.json bench_output.txt bench_scale.txt
 //
+// Several inputs merge into one trajectory (later files win on duplicate
+// names), so scale-run measurements recorded outside `go test` — the
+// sdsload -bench-name lines — land in the same file as the microbenchmarks.
 // Lines that are not benchmark results (log output, ok/PASS lines) are
 // ignored; the GOMAXPROCS suffix (-16 etc.) is stripped so trajectories
 // compare across machines.
@@ -32,13 +37,28 @@ func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	results, err := parse(os.Stdin)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	results := make(map[string]Result)
+	if flag.NArg() == 0 {
+		if err := parse(os.Stdin, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		err = parse(f, results)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(1)
+		}
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
 		os.Exit(1)
 	}
 
@@ -64,9 +84,9 @@ func main() {
 //
 //	BenchmarkName-16    10    38212345 ns/op    1234 B/op    56 allocs/op
 //
-// from r. Go guarantees the name prefix and the "value unit" pairs.
-func parse(f *os.File) (map[string]Result, error) {
-	results := make(map[string]Result)
+// from f into results. Go guarantees the name prefix and the "value unit"
+// pairs.
+func parse(f *os.File, results map[string]Result) error {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -101,5 +121,5 @@ func parse(f *os.File) (map[string]Result, error) {
 		}
 		results[name] = res
 	}
-	return results, sc.Err()
+	return sc.Err()
 }

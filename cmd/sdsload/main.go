@@ -15,14 +15,21 @@
 //	# attacked streams; fail unless every VM alarms
 //	sdsload -addr 127.0.0.1:7031 -vms 8 -seconds 180 -profile-seconds 60 \
 //	        -attack-at 120 -expect-alarms 1
+//
+//	# 10k binary-frame streams, pre-rendered so the measured window is
+//	# pure ingest; emit a go-bench line for benchjson
+//	sdsload -addr 127.0.0.1:7031 -vms 10000 -seconds 30 -profile-seconds 15 \
+//	        -frames bin -prebuild -bench-name ServerIngestBin10k
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,22 +38,58 @@ import (
 	"github.com/memdos/sds/internal/server"
 )
 
+// config is one sdsload run's full parameter set.
+type config struct {
+	addr           string
+	network        string // tcp or unix
+	app            string
+	scheme         string
+	frames         string // csv or bin
+	vms            int
+	seconds        float64
+	profileSeconds float64
+	attackAt       float64
+	seed           uint64 // VM i streams with seed+i
+	expectAlarms   int
+	retries        int
+	prebuild       bool   // render every stream before the clock starts
+	benchName      string // emit a go-bench result line under this name
+}
+
+const (
+	framesCSV = "csv"
+	framesBin = "bin"
+)
+
 func main() {
-	var (
-		addr           = flag.String("addr", "127.0.0.1:7031", "sdsd stream address")
-		network        = flag.String("network", "tcp", "stream network: tcp or unix")
-		vms            = flag.Int("vms", 8, "number of concurrent VM streams")
-		seconds        = flag.Float64("seconds", 120, "virtual seconds of telemetry per VM")
-		profileSeconds = flag.Float64("profile-seconds", 60, "Stage-1 profile window sent in the handshake")
-		app            = flag.String("app", "kmeans", "application model for the simulated VMs")
-		scheme         = flag.String("scheme", "sds", "detection scheme sent in the handshake")
-		attackAt       = flag.Float64("attack-at", 0, "start a bus-locking attack at this stream time (0 = none)")
-		seed           = flag.Uint64("seed", 1, "base seed; VM i streams with seed+i")
-		expectAlarms   = flag.Int("expect-alarms", 0, "fail unless every VM raises at least this many alarms")
-		retries        = flag.Int("connect-retries", 10, "connection attempts per VM (100ms apart) before giving up")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7031", "sdsd stream address")
+	flag.StringVar(&cfg.network, "network", "tcp", "stream network: tcp or unix")
+	flag.IntVar(&cfg.vms, "vms", 8, "number of concurrent VM streams")
+	flag.Float64Var(&cfg.seconds, "seconds", 120, "virtual seconds of telemetry per VM")
+	flag.Float64Var(&cfg.profileSeconds, "profile-seconds", 60, "Stage-1 profile window sent in the handshake")
+	flag.StringVar(&cfg.app, "app", "kmeans", "application model for the simulated VMs")
+	flag.StringVar(&cfg.scheme, "scheme", "sds", "detection scheme sent in the handshake")
+	flag.StringVar(&cfg.frames, "frames", framesCSV, "stream encoding: csv or bin")
+	flag.Float64Var(&cfg.attackAt, "attack-at", 0, "start a bus-locking attack at this stream time (0 = none)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "base seed; VM i streams with seed+i")
+	flag.IntVar(&cfg.expectAlarms, "expect-alarms", 0, "fail unless every VM raises at least this many alarms")
+	flag.IntVar(&cfg.retries, "connect-retries", 10, "connection attempts per VM (100ms apart) before giving up")
+	flag.BoolVar(&cfg.prebuild, "prebuild", false, "render every stream to memory first so the timed window measures ingest, not sample generation")
+	flag.StringVar(&cfg.benchName, "bench-name", "", "also print a `go test -bench`-style result line (Benchmark<name> …) for benchjson")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
-	if err := run(*addr, *network, *app, *scheme, *vms, *seconds, *profileSeconds, *attackAt, *seed, *expectAlarms, *retries); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdsload:", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(cfg); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "sdsload:", err)
 		os.Exit(1)
 	}
@@ -61,19 +104,82 @@ type vmResult struct {
 	err     error
 }
 
-func run(addr, network, app, scheme string, vms int, seconds, profileSeconds, attackAt float64, seed uint64, expectAlarms, retries int) error {
-	if vms <= 0 {
-		return fmt.Errorf("need at least one VM stream, got %d", vms)
+// body is one VM's pre-rendered stream.
+type body struct {
+	data []byte
+	n    int // samples encoded in data
+}
+
+func run(cfg config) error {
+	if cfg.vms <= 0 {
+		return fmt.Errorf("need at least one VM stream, got %d", cfg.vms)
 	}
-	results := make([]vmResult, vms)
+	if cfg.frames != framesCSV && cfg.frames != framesBin {
+		return fmt.Errorf("unknown -frames value %q (want csv or bin)", cfg.frames)
+	}
+
+	// -prebuild trades memory for a clean measurement: every stream is
+	// rendered — and every connection dialed — before the clock starts, so
+	// the timed window contains only the handshakes, the encoded transport,
+	// and server-side ingest. Dialing up front matters at 10k streams: a
+	// cold connect storm overflows the accept backlog and the resulting
+	// SYN retransmits would otherwise dominate the measured window.
+	var bodies []body
+	var conns []net.Conn
+	if cfg.prebuild {
+		bodies = make([]body, cfg.vms)
+		for i := range bodies {
+			b, err := renderStream(cfg, cfg.seed+uint64(i))
+			if err != nil {
+				return fmt.Errorf("prebuilding stream %d: %w", i, err)
+			}
+			bodies[i] = b
+		}
+		conns = make([]net.Conn, cfg.vms)
+		defer func() {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}()
+		var dialErr error
+		var mu sync.Mutex
+		var dwg sync.WaitGroup
+		for i := 0; i < cfg.vms; i++ {
+			dwg.Add(1)
+			go func(i int) {
+				defer dwg.Done()
+				c, err := dialRetry(cfg.network, cfg.addr, cfg.retries)
+				if err != nil {
+					mu.Lock()
+					dialErr = err
+					mu.Unlock()
+					return
+				}
+				conns[i] = c
+			}(i)
+		}
+		dwg.Wait()
+		if dialErr != nil {
+			return fmt.Errorf("pre-dialing %d streams: %w", cfg.vms, dialErr)
+		}
+	}
+
+	results := make([]vmResult, cfg.vms)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < vms; i++ {
+	for i := 0; i < cfg.vms; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			vm := fmt.Sprintf("load-%03d", i)
-			results[i] = streamVM(addr, network, vm, app, scheme, seconds, profileSeconds, attackAt, seed+uint64(i), retries)
+			vm := fmt.Sprintf("load-%05d", i)
+			var pre *body
+			var conn net.Conn
+			if cfg.prebuild {
+				pre, conn = &bodies[i], conns[i]
+			}
+			results[i] = streamVM(cfg, vm, cfg.seed+uint64(i), pre, conn)
 		}(i)
 	}
 	wg.Wait()
@@ -88,28 +194,76 @@ func run(addr, network, app, scheme string, vms int, seconds, profileSeconds, at
 		case r.samples != r.sent:
 			failures++
 			fmt.Fprintf(os.Stderr, "sdsload: %s: sent %d samples, server accounted %d — samples lost\n", r.vm, r.sent, r.samples)
-		case r.alarms < expectAlarms:
+		case r.alarms < cfg.expectAlarms:
 			failures++
-			fmt.Fprintf(os.Stderr, "sdsload: %s: %d alarms, expected at least %d\n", r.vm, r.alarms, expectAlarms)
+			fmt.Fprintf(os.Stderr, "sdsload: %s: %d alarms, expected at least %d\n", r.vm, r.alarms, cfg.expectAlarms)
 		}
 		total += r.samples
 		alarms += r.alarms
 	}
+	rate := float64(total) / elapsed.Seconds()
 	fmt.Printf("sdsload: %d VMs, %d samples in %.2fs (%.0f samples/sec), %d alarms\n",
-		vms, total, elapsed.Seconds(), float64(total)/elapsed.Seconds(), alarms)
+		cfg.vms, total, elapsed.Seconds(), rate, alarms)
+	if cfg.benchName != "" && total > 0 {
+		// One result line in `go test -bench` format so the run lands in the
+		// BENCH_PR*.json trajectory through the same benchjson pipeline as
+		// the in-process benchmarks: iterations = samples ingested, ns/op =
+		// wall time per sample across all streams.
+		fmt.Printf("Benchmark%s \t%8d\t%12.1f ns/op\t%12.0f samples/sec\n",
+			cfg.benchName, total, float64(elapsed.Nanoseconds())/float64(total), rate)
+	}
 	if failures > 0 {
-		return fmt.Errorf("%d of %d streams failed", failures, vms)
+		return fmt.Errorf("%d of %d streams failed", failures, cfg.vms)
 	}
 	return nil
 }
 
-// streamVM runs one VM's full stream lifecycle against the server.
-func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, attackAt float64, seed uint64, retries int) vmResult {
+// spec builds the deterministic replay spec for one VM.
+func spec(cfg config, seed uint64) server.ReplaySpec {
+	return server.ReplaySpec{
+		App:      cfg.app,
+		Seconds:  cfg.seconds,
+		AttackAt: cfg.attackAt,
+		Seed:     seed,
+	}
+}
+
+// renderStream encodes one VM's full stream into memory.
+func renderStream(cfg config, seed uint64) (body, error) {
+	var buf bytes.Buffer
+	// Pre-size the body: growing a multi-MB buffer by doubling re-copies
+	// it ~twice, which adds up across 10k prebuilt streams. The estimate
+	// uses the Table 1 sampling interval (~100 samples per virtual second)
+	// and each encoding's worst-case bytes per sample.
+	est := int(cfg.seconds*100) + 128
+	if cfg.frames == framesBin {
+		buf.Grow(est*24 + est/1024*3 + 64)
+	} else {
+		buf.Grow(est * 48)
+	}
+	var n int
+	var err error
+	if cfg.frames == framesBin {
+		n, err = server.WriteSimulatedStreamBinary(&buf, spec(cfg, seed))
+	} else {
+		n, err = server.WriteSimulatedStream(&buf, spec(cfg, seed))
+	}
+	return body{data: buf.Bytes(), n: n}, err
+}
+
+// streamVM runs one VM's full stream lifecycle against the server. With a
+// pre-rendered body the telemetry is a single bulk write; otherwise the
+// stream is generated and encoded on the fly. A non-nil conn (pre-dialed
+// by run) is used as-is; otherwise streamVM dials its own.
+func streamVM(cfg config, vm string, seed uint64, pre *body, conn net.Conn) vmResult {
 	res := vmResult{vm: vm}
-	conn, err := dialRetry(network, addr, retries)
-	if err != nil {
-		res.err = err
-		return res
+	if conn == nil {
+		var err error
+		conn, err = dialRetry(cfg.network, cfg.addr, cfg.retries)
+		if err != nil {
+			res.err = err
+			return res
+		}
 	}
 	defer conn.Close()
 
@@ -118,7 +272,11 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 	// without replying at all — is a hard failure, not a stream that happens
 	// to account zero samples.
 	br := bufio.NewReaderSize(conn, 64*1024)
-	if _, err := fmt.Fprintf(conn, "sds/1 vm=%s app=%s scheme=%s profile=%g\n", vm, app, scheme, profileSeconds); err != nil {
+	hs := fmt.Sprintf("sds/1 vm=%s app=%s scheme=%s profile=%g", vm, cfg.app, cfg.scheme, cfg.profileSeconds)
+	if cfg.frames == framesBin {
+		hs += " frames=bin"
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", hs); err != nil {
 		res.err = err
 		return res
 	}
@@ -133,6 +291,9 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 		return res
 	case !strings.HasPrefix(reply, "ok "):
 		res.err = fmt.Errorf("unexpected handshake reply %q", reply)
+		return res
+	case cfg.frames == framesBin && !strings.HasSuffix(reply, " frames=bin"):
+		res.err = fmt.Errorf("server did not confirm binary frames: %q", reply)
 		return res
 	}
 
@@ -172,17 +333,26 @@ func streamVM(addr, network, vm, app, scheme string, seconds, profileSeconds, at
 		resp <- d
 	}()
 
-	n, err := server.WriteSimulatedStream(conn, server.ReplaySpec{
-		App:      app,
-		Seconds:  seconds,
-		AttackAt: attackAt,
-		Seed:     seed,
-	})
-	if err != nil {
-		res.err = fmt.Errorf("streaming: %w", err)
-		return res
+	if pre != nil {
+		if _, err := conn.Write(pre.data); err != nil {
+			res.err = fmt.Errorf("streaming: %w", err)
+			return res
+		}
+		res.sent = pre.n
+	} else {
+		var n int
+		var err error
+		if cfg.frames == framesBin {
+			n, err = server.WriteSimulatedStreamBinary(conn, spec(cfg, seed))
+		} else {
+			n, err = server.WriteSimulatedStream(conn, spec(cfg, seed))
+		}
+		if err != nil {
+			res.err = fmt.Errorf("streaming: %w", err)
+			return res
+		}
+		res.sent = n
 	}
-	res.sent = n
 	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
 		cw.CloseWrite()
 	}

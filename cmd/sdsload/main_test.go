@@ -27,11 +27,29 @@ func startServer(t *testing.T, opts server.Options) (*server.Server, string) {
 	return s, l.Addr().String()
 }
 
+// testCfg is the shared flag set of the client tests: one attacked kmeans
+// stream, CSV frames unless a test overrides.
+func testCfg(addr, app, scheme string, retries int) config {
+	return config{
+		addr:           addr,
+		network:        "tcp",
+		app:            app,
+		scheme:         scheme,
+		frames:         framesCSV,
+		vms:            1,
+		seconds:        160,
+		profileSeconds: 60,
+		attackAt:       100,
+		seed:           7,
+		retries:        retries,
+	}
+}
+
 // TestStreamVMHappyPath: a full attacked stream against a real server
 // accounts every sample and reports its alarms.
 func TestStreamVMHappyPath(t *testing.T) {
 	_, addr := startServer(t, server.Options{})
-	res := streamVM(addr, "tcp", "load-ok", "kmeans", "sds", 160, 60, 100, 7, 1)
+	res := streamVM(testCfg(addr, "kmeans", "sds", 1), "load-ok", 7, nil, nil)
 	if res.err != nil {
 		t.Fatal(res.err)
 	}
@@ -52,7 +70,7 @@ func TestStreamVMRejectedHandshakeIsHardFailure(t *testing.T) {
 	t.Run("error reply", func(t *testing.T) {
 		_, addr := startServer(t, server.Options{})
 		// An unknown scheme is rejected at handshake time.
-		res := streamVM(addr, "tcp", "load-bad", "kmeans", "bogus", 160, 60, 0, 7, 1)
+		res := streamVM(testCfg(addr, "kmeans", "bogus", 1), "load-bad", 7, nil, nil)
 		if res.err == nil {
 			t.Fatal("rejected handshake reported success")
 		}
@@ -80,7 +98,7 @@ func TestStreamVMRejectedHandshakeIsHardFailure(t *testing.T) {
 				conn.Close()
 			}
 		}()
-		res := streamVM(l.Addr().String(), "tcp", "load-hup", "kmeans", "sds", 160, 60, 0, 7, 1)
+		res := streamVM(testCfg(l.Addr().String(), "kmeans", "sds", 1), "load-hup", 7, nil, nil)
 		if res.err == nil {
 			t.Fatal("server hang-up before handshake reply reported success")
 		}
@@ -100,11 +118,50 @@ func TestRunExpectAlarms(t *testing.T) {
 		t.Skip("replays full streams")
 	}
 	_, addr := startServer(t, server.Options{})
-	if err := run(addr, "tcp", "kmeans", "sds", 2, 160, 60, 100, 7, 1, 1); err != nil {
+	cfg := testCfg(addr, "kmeans", "sds", 1)
+	cfg.vms = 2
+	cfg.expectAlarms = 1
+	if err := run(cfg); err != nil {
 		t.Errorf("attacked run with alarms failed: %v", err)
 	}
 	// No stream can meet an absurd alarm floor; the run must fail.
-	if err := run(addr, "tcp", "kmeans", "sds", 1, 120, 60, 0, 9, 1000, 1); err == nil {
+	cfg = testCfg(addr, "kmeans", "sds", 1)
+	cfg.seconds, cfg.attackAt, cfg.seed = 120, 0, 9
+	cfg.expectAlarms = 1000
+	if err := run(cfg); err == nil {
 		t.Error("run satisfied -expect-alarms 1000")
+	}
+}
+
+// TestStreamVMBinaryFrames: the binary client path negotiates frames=bin
+// and keeps the zero-loss accounting; prebuilt and on-the-fly streams of
+// the same seed must account identically.
+func TestStreamVMBinaryFrames(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	cfg := testCfg(addr, "kmeans", "sds", 1)
+	cfg.frames = framesBin
+
+	live := streamVM(cfg, "load-bin", 7, nil, nil)
+	if live.err != nil {
+		t.Fatal(live.err)
+	}
+	if live.samples != live.sent || live.sent == 0 {
+		t.Errorf("sent %d samples, server accounted %d", live.sent, live.samples)
+	}
+	if live.alarms == 0 {
+		t.Error("attacked binary stream raised no alarms")
+	}
+
+	pre, err := renderStream(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := streamVM(cfg, "load-bin-pre", 7, &pre, nil)
+	if rendered.err != nil {
+		t.Fatal(rendered.err)
+	}
+	if rendered.sent != live.sent || rendered.samples != live.samples || rendered.alarms != live.alarms {
+		t.Errorf("prebuilt stream accounted (%d sent, %d samples, %d alarms), live (%d, %d, %d)",
+			rendered.sent, rendered.samples, rendered.alarms, live.sent, live.samples, live.alarms)
 	}
 }

@@ -76,6 +76,14 @@ type Detector interface {
 	Alarms() []Alarm
 }
 
+// AlarmCounter is the optional fast path next to Detector.Alarms: it
+// reports how many alarms have been raised without copying them. Per-sample
+// consumers (the server's session loop) poll the count and call Alarms()
+// only when it moved, keeping the steady-state Observe path allocation-free.
+type AlarmCounter interface {
+	AlarmCount() int
+}
+
 // Config carries the SDS parameters of the paper's Table 1. The zero value
 // is invalid; start from DefaultConfig.
 type Config struct {

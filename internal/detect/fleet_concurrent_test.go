@@ -36,10 +36,12 @@ func (d *tickingDetector) Alarms() []Alarm {
 // while other goroutines churn Protect/Unprotect and read aggregate alarm
 // state — the exact access pattern of the multi-VM ingestion server. Run
 // with -race (CI does) to make it a real concurrency regression test.
+// 512 VMs cover every registry shard several times over, so cross-shard
+// isolation and same-shard contention both get exercised.
 func TestFleetConcurrentObserve(t *testing.T) {
 	const (
-		vms     = 32
-		samples = 500
+		vms     = 512
+		samples = 200
 	)
 	fleet := NewFleet()
 	dets := make([]*tickingDetector, vms)

@@ -304,6 +304,9 @@ func (d *KSTest) ringSnapshotInto(out, ring []float64) []float64 {
 // Alarmed implements Detector.
 func (d *KSTest) Alarmed() bool { return d.alarmed }
 
+// AlarmCount implements AlarmCounter.
+func (d *KSTest) AlarmCount() int { return len(d.alarms) }
+
 // Alarms implements Detector.
 func (d *KSTest) Alarms() []Alarm {
 	out := make([]Alarm, len(d.alarms))

@@ -92,6 +92,9 @@ func (r *Reprofiler) Alarmed() bool { return r.det.Alarmed() }
 // Alarms implements Detector.
 func (r *Reprofiler) Alarms() []Alarm { return r.det.Alarms() }
 
+// AlarmCount implements AlarmCounter.
+func (r *Reprofiler) AlarmCount() int { return alarmCount(r.det) }
+
 // Reprofiles returns how many times the profile has been rebuilt.
 func (r *Reprofiler) Reprofiles() int { return r.reprofiles }
 

@@ -77,6 +77,9 @@ func (d *SDS) Observe(s pcm.Sample) {
 // Alarmed implements Detector.
 func (d *SDS) Alarmed() bool { return d.alarmed }
 
+// AlarmCount implements AlarmCounter.
+func (d *SDS) AlarmCount() int { return len(d.alarms) }
+
 // Alarms implements Detector.
 func (d *SDS) Alarms() []Alarm {
 	out := make([]Alarm, len(d.alarms))

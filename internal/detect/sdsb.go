@@ -133,6 +133,9 @@ func (d *SDSB) Observe(s pcm.Sample) {
 // Alarmed implements Detector.
 func (d *SDSB) Alarmed() bool { return d.alarmed }
 
+// AlarmCount implements AlarmCounter.
+func (d *SDSB) AlarmCount() int { return len(d.alarms) }
+
 // Alarms implements Detector.
 func (d *SDSB) Alarms() []Alarm {
 	out := make([]Alarm, len(d.alarms))

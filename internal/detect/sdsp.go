@@ -194,6 +194,9 @@ func (d *SDSP) estimateMetric(t float64, metric Metric, ring []float64) (signal.
 // Alarmed implements Detector.
 func (d *SDSP) Alarmed() bool { return d.alarmed }
 
+// AlarmCount implements AlarmCounter.
+func (d *SDSP) AlarmCount() int { return len(d.alarms) }
+
 // Alarms implements Detector.
 func (d *SDSP) Alarms() []Alarm {
 	out := make([]Alarm, len(d.alarms))

@@ -9,8 +9,8 @@
 // schedule over the same stream produces byte-identical damage, so a chaos
 // test can replay the transformation locally (Apply) and compute the exact
 // set of lines the server must ingest, quarantine, or never see. There is
-// no reordering and no spontaneous data invention: the layer only removes,
-// damages, delays, or splits what the application wrote.
+// no reordering and no record invention: the layer only removes, damages,
+// inflates, delays, or splits what the application wrote.
 package faultinject
 
 import (
@@ -50,6 +50,11 @@ type Faults struct {
 	// drops the newline, so it merges with the following line into one
 	// malformed record (mid-line truncation — a torn write). 0 = off.
 	TruncateEvery int
+	// OversizeEvery inflates every Nth line past OversizeLen bytes by
+	// stuffing junk between the record and its newline — a runaway writer
+	// emitting an unbounded line. The parser must quarantine the line and
+	// resume on the next one. 0 = off.
+	OversizeEvery int
 	// DropAfterLines ends the stream abruptly after N lines: a wrapped
 	// conn half-closes its write side (hard-closes transports without
 	// CloseWrite), a wrapped reader returns io.EOF (abrupt EOF). 0 = off.
@@ -71,14 +76,24 @@ type Faults struct {
 
 // active reports whether the schedule injects anything at all.
 func (f Faults) active() bool {
-	return f.CorruptEvery > 0 || f.TruncateEvery > 0 || f.DropAfterLines > 0 ||
-		f.StallEvery > 0 || f.PartialWriteMax > 0 || f.FailWritesAfterLines > 0
+	return f.CorruptEvery > 0 || f.TruncateEvery > 0 || f.OversizeEvery > 0 ||
+		f.DropAfterLines > 0 || f.StallEvery > 0 || f.PartialWriteMax > 0 ||
+		f.FailWritesAfterLines > 0
 }
+
+// OversizeLen is the length OversizeEvery inflates lines past: one byte over
+// the feed parser's MaxLineBytes cap (the packages are kept decoupled; the
+// parser's own tests pin the two constants together).
+const OversizeLen = 1024*1024 + 1
 
 // corruptBytes are the overwrite candidates: none of them can appear in a
 // valid t,access,miss record, so a corrupted line always fails to parse
 // rather than silently becoming a different sample.
 var corruptBytes = []byte{'X', '!', '?', '~'}
+
+// junkRun is the oversize filler, appended in chunks to bound the append
+// loop; 'x' cannot occur in a valid t,access,miss record.
+var junkRun = bytes.Repeat([]byte{'x'}, 4096)
 
 // faulter applies the schedule line by line. It is not safe for concurrent
 // use; Conn serializes access.
@@ -114,6 +129,25 @@ func (lf *faulter) apply(line []byte) (out []byte, stall time.Duration, drop boo
 		stall = lf.f.Stall
 	}
 	switch {
+	case every(lf.n, lf.f.OversizeEvery):
+		// Inflate the line past the parser's cap: record, then junk, then
+		// the original newline (if any). The junk glues onto the last field,
+		// so even a parser without a length cap could never mistake the line
+		// for a different valid record.
+		body := line
+		nl := false
+		if ln := len(body); ln > 0 && body[ln-1] == '\n' {
+			body, nl = body[:ln-1], true
+		}
+		out = append(lf.scratch[:0], body...)
+		for len(out) < OversizeLen {
+			out = append(out, junkRun...)
+		}
+		out = out[:OversizeLen]
+		if nl {
+			out = append(out, '\n')
+		}
+		lf.scratch = out
 	case every(lf.n, lf.f.TruncateEvery):
 		// Cut shortly after the first comma and drop the newline: the
 		// remnant merges with the next line into a ≥4-field record, which

@@ -99,6 +99,34 @@ func TestTruncationMergesLines(t *testing.T) {
 	}
 }
 
+// TestOversizeExceedsParserCap pins the contract between the fault layer
+// and the feed parser: an inflated line is strictly longer than
+// feed.MaxLineBytes, so the parser must quarantine exactly the inflated
+// lines and keep every record around them.
+func TestOversizeExceedsParserCap(t *testing.T) {
+	if OversizeLen <= feed.MaxLineBytes {
+		t.Fatalf("OversizeLen %d does not exceed feed.MaxLineBytes %d", OversizeLen, feed.MaxLineBytes)
+	}
+	const n, every = 101, 25
+	in := stream(n)
+	got := Apply(in, Faults{Seed: 6, SkipLines: 1, OversizeEvery: every})
+	for _, line := range bytes.Split(got, []byte{'\n'}) {
+		if len(line) > len("t,access,miss") && len(line) <= feed.MaxLineBytes {
+			if i := bytes.IndexByte(line, 'x'); i >= 0 {
+				t.Fatalf("inflated line is only %d bytes, under the parser cap", len(line))
+			}
+		}
+	}
+	ok, bad := parseCounts(t, got)
+	events := n / every
+	if bad != events {
+		t.Errorf("%d malformed lines, want %d", bad, events)
+	}
+	if ok != n-events {
+		t.Errorf("%d parsed records, want %d (oversize must not take neighbors down)", ok, n-events)
+	}
+}
+
 // TestReaderAbruptEOF: a drop schedule ends the wrapped reader with a clean
 // io.EOF after exactly N lines, mid-stream.
 func TestReaderAbruptEOF(t *testing.T) {

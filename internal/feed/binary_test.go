@@ -1,0 +1,340 @@
+package feed
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/randx"
+)
+
+func genBinSamples(n int, seed uint64) []pcm.Sample {
+	r := randx.New(seed, 0xb1)
+	out := make([]pcm.Sample, n)
+	for i := range out {
+		out[i] = pcm.Sample{
+			T:      float64(i+1) * 0.01,
+			Access: float64(r.IntN(1 << 20)),
+			Miss:   float64(r.IntN(1 << 16)),
+		}
+	}
+	return out
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	want := genBinSamples(3000, 1) // spans several frames at MaxFrameSamples
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	if err := w.WriteBatch(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	got, q, err := NewBinReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("%d samples quarantined from a clean stream", q)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost samples: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinSingleSampleWrites(t *testing.T) {
+	want := genBinSamples(50, 2)
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	for _, s := range want {
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBinReader(&buf)
+	got, _, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Frames() != len(want) {
+		t.Fatalf("Frames() = %d, want one frame per Write (%d)", r.Frames(), len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+}
+
+// TestBinRoundTripProperty: any finite sample round-trips bit-exactly
+// through the 24-byte record encoding (float64 bits are copied verbatim).
+func TestBinRoundTripProperty(t *testing.T) {
+	f := func(tBits, aBits, mBits uint64) bool {
+		s := pcm.Sample{
+			T:      math.Float64frombits(tBits),
+			Access: math.Float64frombits(aBits),
+			Miss:   math.Float64frombits(mBits),
+		}
+		if nonFinite(s.T) || nonFinite(s.Access) || nonFinite(s.Miss) {
+			return true // quarantined, covered separately
+		}
+		var buf bytes.Buffer
+		w := NewBinWriter(&buf)
+		if w.WriteBatch([]pcm.Sample{s}) != nil || w.End() != nil {
+			return false
+		}
+		got, q, err := NewBinReader(&buf).ReadAll()
+		return err == nil && q == 0 && len(got) == 1 &&
+			math.Float64bits(got[0].T) == tBits &&
+			math.Float64bits(got[0].Access) == aBits &&
+			math.Float64bits(got[0].Miss) == mBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinQuarantinesNonFinite: non-finite samples are compacted out and
+// counted, the surrounding frame survives — the binary twin of the CSV
+// NaN-line quarantine.
+func TestBinQuarantinesNonFinite(t *testing.T) {
+	batch := []pcm.Sample{
+		{T: 0.01, Access: 100, Miss: 10},
+		{T: math.NaN(), Access: 100, Miss: 10},
+		{T: 0.03, Access: math.Inf(1), Miss: 10},
+		{T: 0.04, Access: 100, Miss: math.Inf(-1)},
+		{T: 0.05, Access: 110, Miss: 11},
+	}
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	if err := w.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	got, q, err := NewBinReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Errorf("quarantined %d samples, want 3", q)
+	}
+	if len(got) != 2 || got[0].T != 0.01 || got[1].T != 0.05 {
+		t.Errorf("surviving samples = %+v", got)
+	}
+}
+
+func TestBinFramingErrorsAreFatal(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w := NewBinWriter(&buf)
+		w.WriteBatch(genBinSamples(2, 3))
+		w.Flush()
+		return buf.Bytes()
+	}()
+	tests := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"unknown frame type", []byte{0x7f, 0x01, 0x00}, "unknown frame type"},
+		{"zero count", []byte{frameSamples, 0x00, 0x00}, "bad sample count"},
+		{"count beyond cap", []byte{frameSamples, 0xff, 0xff}, "bad sample count"},
+		{"truncated header", []byte{frameSamples, 0x01}, "truncated header"},
+		{"truncated payload", valid[:len(valid)-5], "truncated payload"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, _, err := NewBinReader(bytes.NewReader(tt.data)).ReadAll()
+			if err == nil {
+				t.Fatal("malformed frame stream decoded without error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %v, want %q", err, tt.want)
+			}
+			if !strings.Contains(err.Error(), "feed: frame") {
+				t.Fatalf("error %v lacks the frame position prefix", err)
+			}
+		})
+	}
+}
+
+func TestBinCleanEOFWithoutEndFrame(t *testing.T) {
+	// A transport that closes at a frame boundary (CSV streams do the
+	// same) is a clean end of stream.
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	w.WriteBatch(genBinSamples(10, 4))
+	w.Flush() // no End()
+	got, _, err := NewBinReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d samples, want 10", len(got))
+	}
+}
+
+func TestBinReadAfterEnd(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	w.WriteBatch(genBinSamples(1, 5))
+	w.End()
+	w.WriteBatch(genBinSamples(1, 6)) // trailing junk after the end frame
+	w.Flush()
+	r := NewBinReader(&buf)
+	if _, _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, err := r.ReadFrame(make([]pcm.Sample, 0, MaxFrameSamples)); n != 0 || err != io.EOF {
+		t.Fatalf("read past end frame returned (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+// TestBinCSVEquivalence: the two encodings are carriers for the same
+// samples — a stream written as CSV text and one written as binary frames
+// decode to identical sample sequences.
+func TestBinCSVEquivalence(t *testing.T) {
+	samples := genBinSamples(2500, 7)
+
+	var csvBuf bytes.Buffer
+	cw := NewWriter(&csvBuf)
+	for _, s := range samples {
+		if err := cw.Write(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var binBuf bytes.Buffer
+	bw := NewBinWriter(&binBuf)
+	if err := bw.WriteBatch(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.End(); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, _, err := NewBinReader(&binBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fromCSV) != len(fromBin) {
+		t.Fatalf("CSV decoded %d samples, binary %d", len(fromCSV), len(fromBin))
+	}
+	for i := range fromCSV {
+		if fromCSV[i] != fromBin[i] {
+			t.Fatalf("sample %d differs across encodings: csv %+v, bin %+v", i, fromCSV[i], fromBin[i])
+		}
+	}
+}
+
+// TestBinReadFrameZeroAlloc pins the steady-state decode path at zero
+// allocations per frame — the property the 10k-stream ingest plane rests
+// on (alloc_test.go-style, mirroring the detector Observe contract).
+func TestBinReadFrameZeroAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	const frames = 200
+	for i := 0; i < frames; i++ {
+		if err := w.WriteBatch(genBinSamples(MaxFrameSamples, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBinReader(bytes.NewReader(buf.Bytes()))
+	dst := make([]pcm.Sample, 0, MaxFrameSamples)
+	// Warm: first frame may grow nothing, but keep symmetry with the
+	// detector alloc tests.
+	if _, _, err := r.ReadFrame(dst); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(frames-2, func() {
+		if _, _, err := r.ReadFrame(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BinReader.ReadFrame: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func BenchmarkBinReadFrame(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	batch := genBinSamples(MaxFrameSamples, 9)
+	if err := w.WriteBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	w.Flush()
+	frame := buf.Bytes()
+	data := bytes.Repeat(frame, 64)
+	dst := make([]pcm.Sample, 0, MaxFrameSamples)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	r := NewBinReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		_, _, err := r.ReadFrame(dst)
+		if err == io.EOF {
+			b.StopTimer()
+			r = NewBinReader(bytes.NewReader(data))
+			b.StartTimer()
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(MaxFrameSamples), "samples/frame")
+}
+
+// BenchmarkCSVReadSample is the text-protocol baseline BenchmarkBinReadFrame
+// is compared against (per-sample cost; one binary frame carries
+// MaxFrameSamples of these).
+func BenchmarkCSVReadSample(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, s := range genBinSamples(10000, 10) {
+		if err := w.Write(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		_, err := r.Next()
+		if err == io.EOF {
+			b.StopTimer()
+			r = NewReader(bytes.NewReader(data))
+			b.StartTimer()
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

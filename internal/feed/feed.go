@@ -4,17 +4,29 @@
 // sampling interval — which is trivial to produce from Intel PCM's csv
 // output or a perf-stat wrapper. A header line and comment lines starting
 // with '#' are skipped.
+//
+// For high-throughput deployments the package also implements the compact
+// binary frame encoding negotiated by the sds/1 handshake (`frames=bin`);
+// see binary.go. Both encodings carry the same samples: a stream written
+// with Writer and one written with BinWriter decode to identical
+// pcm.Sample sequences.
 package feed
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"github.com/memdos/sds/internal/pcm"
 )
+
+// MaxLineBytes caps one CSV line. Longer lines are quarantined as a
+// recoverable ParseError: the reader discards the remainder of the line
+// and keeps its position, so one runaway write cannot kill the stream.
+const MaxLineBytes = 1024 * 1024
 
 // ParseError describes one malformed line in an otherwise healthy stream.
 // The Reader keeps its position after returning one, so callers may treat
@@ -22,7 +34,7 @@ import (
 // failures (which are not ParseErrors) remain fatal.
 type ParseError struct {
 	Line int    // 1-based physical line number
-	Text string // the offending line, as read
+	Text string // the offending line as read (truncated for oversized lines)
 	Err  error  // what was wrong with it
 }
 
@@ -32,25 +44,34 @@ func (e *ParseError) Unwrap() error { return e.Err }
 
 // Reader parses a PCM sample stream.
 type Reader struct {
-	scanner *bufio.Scanner
+	br      *bufio.Reader
+	buf     []byte // scratch for lines spanning bufio fragments
 	line    int
 	sawData bool // a data candidate line (non-blank, non-comment) was seen
 }
 
-// NewReader returns a Reader over r.
+// NewReader returns a Reader over r. If r is already a *bufio.Reader it is
+// used directly (no double buffering).
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	return &Reader{scanner: sc}
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64*1024)
+	}
+	return &Reader{br: br}
 }
 
 // Next returns the next sample, io.EOF at end of stream, or a parse error
 // annotated with the line number. Blank lines, comments and a leading
-// header are skipped.
+// header are skipped. Malformed lines — including lines beyond
+// MaxLineBytes, whose remainder is discarded — surface as recoverable
+// *ParseErrors; only I/O failures are fatal.
 func (r *Reader) Next() (pcm.Sample, error) {
-	for r.scanner.Scan() {
-		r.line++
-		text := strings.TrimSpace(r.scanner.Text())
+	for {
+		raw, err := r.readLine()
+		if err != nil {
+			return pcm.Sample{}, err
+		}
+		text := strings.TrimSpace(string(raw))
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
@@ -68,10 +89,83 @@ func (r *Reader) Next() (pcm.Sample, error) {
 		}
 		return s, nil
 	}
-	if err := r.scanner.Err(); err != nil {
-		return pcm.Sample{}, fmt.Errorf("feed: read: %w", err)
+}
+
+// readLine reads one physical line (newline stripped), incrementing the
+// line counter. A line longer than MaxLineBytes is consumed to its
+// newline and returned as a *ParseError, so the stream stays readable.
+// io.EOF is returned only at a clean end of input.
+func (r *Reader) readLine() ([]byte, error) {
+	r.line++
+	r.buf = r.buf[:0]
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		r.buf = append(r.buf, frag...)
+		switch err {
+		case nil:
+			if len(r.buf) > MaxLineBytes {
+				return nil, r.oversizeError(len(r.buf))
+			}
+			return trimEOL(r.buf), nil
+		case bufio.ErrBufferFull:
+			if len(r.buf) > MaxLineBytes {
+				return nil, r.discardLine()
+			}
+		case io.EOF:
+			if len(r.buf) == 0 {
+				return nil, io.EOF
+			}
+			if len(r.buf) > MaxLineBytes {
+				return nil, r.oversizeError(len(r.buf))
+			}
+			return trimEOL(r.buf), nil
+		default:
+			return nil, fmt.Errorf("feed: read: %w", err)
+		}
 	}
-	return pcm.Sample{}, io.EOF
+}
+
+// discardLine consumes the remainder of an oversized line and reports it
+// as a quarantinable ParseError carrying a truncated prefix of the line.
+func (r *Reader) discardLine() error {
+	total := len(r.buf)
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		total += len(frag)
+		switch err {
+		case nil, io.EOF:
+			return r.oversizeError(total)
+		case bufio.ErrBufferFull:
+			// keep draining
+		default:
+			return fmt.Errorf("feed: read: %w", err)
+		}
+	}
+}
+
+// oversizeError builds the recoverable ParseError for a too-long line,
+// keeping only a short prefix of the offending text.
+func (r *Reader) oversizeError(total int) error {
+	keep := 64
+	if keep > len(r.buf) {
+		keep = len(r.buf)
+	}
+	return &ParseError{
+		Line: r.line,
+		Text: string(r.buf[:keep]) + "…",
+		Err:  fmt.Errorf("line exceeds %d bytes (%d read)", MaxLineBytes, total),
+	}
+}
+
+// trimEOL strips a trailing \n or \r\n.
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+		if n := len(b); n > 0 && b[n-1] == '\r' {
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // ReadAll drains the stream into a slice (profiling helper).
@@ -98,27 +192,42 @@ func parseLine(text string) (pcm.Sample, error) {
 		s   pcm.Sample
 		err error
 	)
-	if s.T, err = strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); err != nil {
-		return pcm.Sample{}, fmt.Errorf("bad time %q", fields[0])
+	if s.T, err = parseFinite(fields[0]); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad time %q: %v", fields[0], err)
 	}
-	if s.Access, err = strconv.ParseFloat(strings.TrimSpace(fields[1]), 64); err != nil {
-		return pcm.Sample{}, fmt.Errorf("bad access count %q", fields[1])
+	if s.Access, err = parseFinite(fields[1]); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad access count %q: %v", fields[1], err)
 	}
-	if s.Miss, err = strconv.ParseFloat(strings.TrimSpace(fields[2]), 64); err != nil {
-		return pcm.Sample{}, fmt.Errorf("bad miss count %q", fields[2])
+	if s.Miss, err = parseFinite(fields[2]); err != nil {
+		return pcm.Sample{}, fmt.Errorf("bad miss count %q: %v", fields[2], err)
 	}
 	return s, nil
 }
 
-// isHeader reports whether the first line looks like a CSV header rather
-// than data.
-func isHeader(text string) bool {
-	for _, f := range strings.Split(text, ",") {
-		if _, err := strconv.ParseFloat(strings.TrimSpace(f), 64); err == nil {
-			return false
-		}
+// parseFinite parses one field, rejecting the non-finite values
+// strconv.ParseFloat accepts. A NaN smuggled through here would poison
+// every downstream sorted-window invariant (ksstat assumes a totally
+// ordered window) and corrupt SDS profile means, so non-finite samples are
+// a parse error the server quarantines, not data.
+func parseFinite(field string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number")
 	}
-	return true
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value")
+	}
+	return v, nil
+}
+
+// isHeader reports whether the first data line is the CSV header. Only the
+// canonical header counts: its first field must be `t` (case-insensitive,
+// e.g. `t,access,miss` or `T,ACCESS,MISS`). Anything else on the first
+// line is malformed data to quarantine — the old any-non-numeric-line
+// heuristic silently swallowed garbage first lines without accounting.
+func isHeader(text string) bool {
+	first, _, _ := strings.Cut(text, ",")
+	return strings.EqualFold(strings.TrimSpace(first), "t")
 }
 
 // Writer emits samples in the same CSV format (for recording simulated

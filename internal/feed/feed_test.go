@@ -145,40 +145,165 @@ func TestReaderParseErrorIsRecoverable(t *testing.T) {
 	}
 }
 
-func TestReaderNaNInfTokens(t *testing.T) {
-	// NaN/Inf tokens are valid floats to strconv and parse through; the
-	// feed layer is a dumb bridge — rejecting (and counting) non-finite
-	// samples is detect.Sanitizer's job, so a glitching PCM tool cannot
-	// kill the whole stream with a single bad line.
-	in := "NaN,100,10\n0.02,+Inf,11\n0.03,120,-Inf\n"
-	samples, err := NewReader(strings.NewReader(in)).ReadAll()
-	if err != nil {
-		t.Fatal(err)
+// TestReaderRejectsNonFinite: strconv.ParseFloat happily parses NaN and
+// ±Inf tokens, but a NaN sample breaks ksstat's sorted-window invariant
+// and corrupts SDS profile means (NaN contaminates every mean it touches).
+// Regression for the pre-fix behaviour where such lines parsed through:
+// each non-finite line must surface as a recoverable *ParseError so the
+// server quarantines it, and the reader must keep delivering the healthy
+// remainder of the stream.
+func TestReaderRejectsNonFinite(t *testing.T) {
+	in := "NaN,100,10\n0.02,+Inf,11\n0.03,120,-Inf\n0.04,inf,11\n0.05,130,13\n"
+	r := NewReader(strings.NewReader(in))
+	var (
+		samples     []pcm.Sample
+		quarantined int
+	)
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			if !strings.Contains(pe.Err.Error(), "non-finite") {
+				t.Errorf("line %d rejected for the wrong reason: %v", pe.Line, pe.Err)
+			}
+			quarantined++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("non-finite line killed the stream: %v", err)
+		}
+		samples = append(samples, s)
 	}
-	if len(samples) != 3 {
-		t.Fatalf("got %d samples, want 3", len(samples))
+	if quarantined != 4 {
+		t.Errorf("quarantined %d lines, want 4", quarantined)
 	}
-	if !math.IsNaN(samples[0].T) || !math.IsInf(samples[1].Access, 1) || !math.IsInf(samples[2].Miss, -1) {
-		t.Fatalf("samples = %+v", samples)
+	if len(samples) != 1 || samples[0].T != 0.05 {
+		t.Errorf("surviving samples = %+v, want just t=0.05", samples)
+	}
+	for _, s := range samples {
+		if math.IsNaN(s.T) || math.IsInf(s.Access, 0) || math.IsInf(s.Miss, 0) {
+			t.Errorf("non-finite sample leaked through: %+v", s)
+		}
 	}
 }
 
-func TestReaderOversizedLine(t *testing.T) {
-	// Lines beyond the 1 MiB scanner cap must surface as a read error, not
-	// a hang or a silent truncation.
+// TestReaderOversizedLineIsRecoverable: a line beyond MaxLineBytes used to
+// surface bufio.ErrTooLong as a fatal read error, killing the connection
+// and its buffered samples. Regression: the oversized line must be
+// discarded with a recoverable *ParseError and the reader must deliver
+// every sample after it.
+func TestReaderOversizedLineIsRecoverable(t *testing.T) {
 	var b strings.Builder
-	b.WriteString("0.01,")
-	for b.Len() < 2*1024*1024 {
+	b.WriteString("t,access,miss\n0.01,100,10\n0.02,")
+	for b.Len() < MaxLineBytes+512*1024 {
 		b.WriteString("11111111")
 	}
-	b.WriteString(",10\n")
+	b.WriteString(",10\n0.03,120,12\n")
 	r := NewReader(strings.NewReader(b.String()))
-	_, err := r.Next()
-	if err == nil || err == io.EOF {
-		t.Fatalf("oversized line accepted (err=%v)", err)
+	if s, err := r.Next(); err != nil || s.T != 0.01 {
+		t.Fatalf("first sample = %+v, %v", s, err)
 	}
-	if !strings.Contains(err.Error(), "read") {
-		t.Fatalf("error %v does not identify a read failure", err)
+	_, err := r.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("oversized line returned %T (%v), want recoverable *ParseError", err, err)
+	}
+	if pe.Line != 3 || !strings.Contains(pe.Err.Error(), "exceeds") {
+		t.Errorf("ParseError = %+v, want line 3 oversize diagnosis", pe)
+	}
+	if len(pe.Text) > 128 {
+		t.Errorf("ParseError.Text carries %d bytes of the oversized line, want a short prefix", len(pe.Text))
+	}
+	s, err := r.Next()
+	if err != nil {
+		t.Fatalf("reader did not recover past the oversized line: %v", err)
+	}
+	if s.T != 0.03 {
+		t.Errorf("post-oversize sample = %+v, want t=0.03", s)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF after last sample, got %v", err)
+	}
+}
+
+// TestReaderOversizedLineNoNewline: an oversized final line without a
+// trailing newline is still quarantined, then EOF.
+func TestReaderOversizedLineNoNewline(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("0.01,100,10\n9.9,")
+	for b.Len() < MaxLineBytes+4096 {
+		b.WriteString("22222222")
+	}
+	r := NewReader(strings.NewReader(b.String()))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError for unterminated oversized line, got %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF after quarantined tail, got %v", err)
+	}
+}
+
+// TestReaderGarbageFirstLineNotHeader: the old isHeader heuristic treated
+// ANY first non-comment line without a numeric field as a header, so a
+// garbage first data line was silently dropped — never quarantined, never
+// counted. Regression: only the canonical `t,…` header may be skipped.
+func TestReaderGarbageFirstLineNotHeader(t *testing.T) {
+	in := "GARBAGE FIRST LINE\n0.01,100,10\n"
+	r := NewReader(strings.NewReader(in))
+	_, err := r.Next()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("garbage first line returned %v, want *ParseError (was silently skipped pre-fix)", err)
+	}
+	if pe.Line != 1 {
+		t.Errorf("ParseError.Line = %d, want 1", pe.Line)
+	}
+	s, err := r.Next()
+	if err != nil || s.T != 0.01 {
+		t.Fatalf("stream did not continue past quarantined first line: %+v, %v", s, err)
+	}
+}
+
+// TestReaderHeaderVariants pins exactly which first lines count as a
+// header: first field `t` in any case, nothing else.
+func TestReaderHeaderVariants(t *testing.T) {
+	tests := []struct {
+		first  string
+		header bool
+	}{
+		{"t,access,miss", true},
+		{"T,ACCESS,MISS", true},
+		{" t , access , miss ", true},
+		{"t", true},
+		{"time,access,miss", false},
+		{"x,y,z", false},
+		{"access,miss,t", false},
+		{"#not reached - comment", true}, // comments skip before the check
+	}
+	for _, tt := range tests {
+		t.Run(tt.first, func(t *testing.T) {
+			in := tt.first + "\n0.01,100,10\n"
+			r := NewReader(strings.NewReader(in))
+			s, err := r.Next()
+			if tt.header {
+				if err != nil || s.T != 0.01 {
+					t.Fatalf("header line not skipped: %+v, %v", s, err)
+				}
+				return
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("non-header first line %q returned %v, want *ParseError", tt.first, err)
+			}
+		})
 	}
 }
 

@@ -25,11 +25,12 @@ func FuzzParseLine(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Accepted finite samples must round-trip through the CSV format.
+		// parseLine rejects non-finite fields, so every accepted sample is
+		// finite and must round-trip through the CSV format.
 		if math.IsNaN(s.T) || math.IsInf(s.T, 0) ||
 			math.IsNaN(s.Access) || math.IsInf(s.Access, 0) ||
 			math.IsNaN(s.Miss) || math.IsInf(s.Miss, 0) {
-			return
+			t.Fatalf("parseLine(%q) accepted a non-finite sample: %+v", line, s)
 		}
 		var buf bytes.Buffer
 		w := NewWriter(&buf)
@@ -115,3 +116,84 @@ func FuzzRoundTrip(f *testing.F) {
 }
 
 func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// FuzzBinReader throws arbitrary byte streams at the binary frame decoder:
+// it must terminate with io.EOF or a diagnostic error, never panic, never
+// loop, and never yield more samples than the input could encode.
+func FuzzBinReader(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewBinWriter(&seed)
+	w.WriteBatch([]pcm.Sample{{T: 0.01, Access: 100, Miss: 10}, {T: 0.02, Access: 110, Miss: 11}})
+	w.End()
+	f.Add(seed.Bytes())
+	f.Add([]byte{0x01, 0x01, 0x00})       // truncated payload
+	f.Add([]byte{0x02})                   // bare end frame
+	f.Add([]byte{0xff, 0x00, 0x01, 0x02}) // unknown type
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinReader(bytes.NewReader(data))
+		dst := make([]pcm.Sample, 0, MaxFrameSamples)
+		total := 0
+		for {
+			n, _, err := r.ReadFrame(dst)
+			total += n
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "feed:") {
+					t.Fatalf("error %v lacks the feed: prefix", err)
+				}
+				return
+			}
+			for _, s := range dst[:n] {
+				if isNonFinite(s.T) || isNonFinite(s.Access) || isNonFinite(s.Miss) {
+					t.Fatalf("decoder passed a non-finite sample: %+v", s)
+				}
+			}
+			if total > len(data)/sampleBytes+MaxFrameSamples {
+				t.Fatalf("decoder produced %d samples from %d bytes", total, len(data))
+			}
+		}
+	})
+}
+
+// FuzzBinRoundTrip: every finite sample triple written as a binary frame
+// is read back bit-for-bit identical (the binary twin of FuzzRoundTrip).
+func FuzzBinRoundTrip(f *testing.F) {
+	f.Add(uint64(0x3FF0000000000000), uint64(100), uint64(10))
+	f.Add(uint64(0x0000000000000001), uint64(0x7FEFFFFFFFFFFFFF), uint64(0))
+	f.Fuzz(func(t *testing.T, tBits, aBits, mBits uint64) {
+		s := pcm.Sample{
+			T:      math.Float64frombits(tBits),
+			Access: math.Float64frombits(aBits),
+			Miss:   math.Float64frombits(mBits),
+		}
+		var buf bytes.Buffer
+		w := NewBinWriter(&buf)
+		if err := w.WriteBatch([]pcm.Sample{s}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+		got, q, err := NewBinReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("re-read of %+v: %v", s, err)
+		}
+		if isNonFinite(s.T) || isNonFinite(s.Access) || isNonFinite(s.Miss) {
+			if q != 1 || len(got) != 0 {
+				t.Fatalf("non-finite sample not quarantined: got %d, q=%d", len(got), q)
+			}
+			return
+		}
+		if q != 0 || len(got) != 1 {
+			t.Fatalf("round trip lost the sample: got %d, q=%d", len(got), q)
+		}
+		if math.Float64bits(got[0].T) != tBits ||
+			math.Float64bits(got[0].Access) != aBits ||
+			math.Float64bits(got[0].Miss) != mBits {
+			t.Fatalf("round trip not lossless: %+v -> %+v", s, got[0])
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// BenchmarkSessionObserveBatch measures the monitored-stage ingest cost of
+// the batched path the binary frame plane drives: one ObserveBatch call per
+// 256-sample frame. This is the server-side hot path the bench gate watches —
+// ns/op is per frame, and allocs/op must stay at zero (the frame pipeline's
+// steady state allocates nothing per frame).
+func BenchmarkSessionObserveBatch(b *testing.B) {
+	const (
+		tpcm    = 0.01
+		profile = 20.0
+		frame   = 256
+	)
+	sess, err := NewSession(StreamSpec{
+		VM: "bench", App: "synth", Scheme: "sds", ProfileSeconds: profile,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Drive Stage 1 to completion so the timed loop measures only the
+	// monitored stage.
+	i := 0
+	for ; i < int(profile/tpcm)+1; i++ {
+		if err := sess.Observe(synthSample(i, tpcm, 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sess.Profiling() {
+		b.Fatal("session still profiling after the Stage-1 window")
+	}
+	batch := make([]pcm.Sample, frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for j := range batch {
+			batch[j] = synthSample(i, tpcm, 1000)
+			i++
+		}
+		if _, err := sess.ObserveBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

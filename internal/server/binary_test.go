@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/memdos/sds/internal/feed"
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// synthBin renders samples [from, to) as a binary frame body (batch size
+// chosen to span several frames), terminated by an end frame.
+func synthBin(t *testing.T, from, to int, tpcm, base float64) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	w := feed.NewBinWriter(&b)
+	batch := make([]pcm.Sample, 0, 256)
+	for i := from; i < to; i++ {
+		batch = append(batch, synthSample(i, tpcm, base))
+		if len(batch) == cap(batch) {
+			if err := w.WriteBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := w.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestServerBinaryStream: a frames=bin session ingests every sample, the
+// ok line confirms the negotiated encoding, and the frame counter moves.
+func TestServerBinaryStream(t *testing.T) {
+	const (
+		tpcm    = 0.01
+		profile = 20.0
+		total   = 2600
+	)
+	s, addr := startServer(t, Options{ProfileSeconds: profile})
+	body := synthBin(t, 0, total, tpcm, 1000)
+	res := runClient(t, addr, "sds/1 vm=bin-1 app=synth profile=20 frames=bin", body)
+	if res.okLine != "ok vm=bin-1 app=synth scheme=sds profile=20 frames=bin" {
+		t.Errorf("ok line = %q, want frames=bin confirmation", res.okLine)
+	}
+	if len(res.errorLines) > 0 {
+		t.Fatalf("stream errored: %v", res.errorLines)
+	}
+	if res.done == nil {
+		t.Fatal("no done line")
+	}
+	if res.done.samples != total {
+		t.Errorf("server accounted %d samples, want %d (zero loss)", res.done.samples, total)
+	}
+	if got := s.Metrics().TotalBinFrames; got == 0 {
+		t.Errorf("TotalBinFrames = %d, want > 0", got)
+	}
+}
+
+// TestServerCSVBinaryAlarmEquivalence is the cross-encoding conformance
+// contract: the same simulated attacked stream, sent once as CSV text and
+// once as binary frames, must produce identical alarm streams and
+// identical done accounting — the encoding is a carrier, not a detector
+// input.
+func TestServerCSVBinaryAlarmEquivalence(t *testing.T) {
+	spec := ReplaySpec{App: "kmeans", Seconds: 160, AttackAt: 100, Seed: 7}
+	var csvBody, binBody bytes.Buffer
+	nCSV, err := WriteSimulatedStream(&csvBody, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nBin, err := WriteSimulatedStreamBinary(&binBody, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nCSV != nBin {
+		t.Fatalf("replay emitted %d CSV samples but %d binary samples", nCSV, nBin)
+	}
+
+	_, addr := startServer(t, Options{})
+	var (
+		wg     sync.WaitGroup
+		resCSV clientResult
+		resBin clientResult
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resCSV = runClient(t, addr, "sds/1 vm=eq-csv app=kmeans scheme=sds profile=60", csvBody.Bytes())
+	}()
+	go func() {
+		defer wg.Done()
+		resBin = runClient(t, addr, "sds/1 vm=eq-bin app=kmeans scheme=sds profile=60 frames=bin", binBody.Bytes())
+	}()
+	wg.Wait()
+
+	if len(resCSV.alarmLines) == 0 {
+		t.Fatal("CSV session raised no alarms — equivalence test is vacuous")
+	}
+	if !reflect.DeepEqual(resCSV.alarmLines, resBin.alarmLines) {
+		t.Errorf("alarm streams differ across encodings:\ncsv: %v\nbin: %v", resCSV.alarmLines, resBin.alarmLines)
+	}
+	if resCSV.done == nil || resBin.done == nil {
+		t.Fatal("missing done line")
+	}
+	if resCSV.done.samples != resBin.done.samples ||
+		resCSV.done.monitored != resBin.done.monitored ||
+		resCSV.done.dropped != resBin.done.dropped ||
+		resCSV.done.alarms != resBin.done.alarms {
+		t.Errorf("done accounting differs: csv %+v, bin %+v", resCSV.done, resBin.done)
+	}
+}
+
+// TestServerBinaryNonFiniteQuarantine: non-finite samples inside a frame
+// are quarantined (counted on /metricsz) without killing the stream — the
+// binary twin of the malformed-CSV-line contract.
+func TestServerBinaryNonFiniteQuarantine(t *testing.T) {
+	const (
+		tpcm    = 0.01
+		profile = 20.0
+		total   = 2600
+	)
+	var b bytes.Buffer
+	w := feed.NewBinWriter(&b)
+	bad := 0
+	batch := make([]pcm.Sample, 0, 128)
+	for i := 0; i < total; i++ {
+		s := synthSample(i, tpcm, 1000)
+		if i > 2100 && i%97 == 0 { // damage only monitored-stage samples
+			s.Access = math.NaN()
+			bad++
+		}
+		batch = append(batch, s)
+		if len(batch) == cap(batch) {
+			if err := w.WriteBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := w.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	if bad == 0 {
+		t.Fatal("test generated no damaged samples")
+	}
+
+	s, addr := startServer(t, Options{ProfileSeconds: profile})
+	res := runClient(t, addr, "sds/1 vm=bin-q profile=20 frames=bin", b.Bytes())
+	if len(res.errorLines) > 0 {
+		t.Fatalf("quarantinable damage killed the stream: %v", res.errorLines)
+	}
+	if res.done == nil {
+		t.Fatal("no done line")
+	}
+	if res.done.samples != total-bad {
+		t.Errorf("ingested %d samples, want %d (total %d - %d quarantined)", res.done.samples, total-bad, total, bad)
+	}
+	m := s.Metrics()
+	if m.TotalQuarantined != uint64(bad) {
+		t.Errorf("TotalQuarantined = %d, want %d", m.TotalQuarantined, bad)
+	}
+	if vm := m.VMs["bin-q"]; vm.Quarantined != uint64(bad) {
+		t.Errorf("per-VM quarantined = %d, want %d", vm.Quarantined, bad)
+	}
+}
+
+// TestServerBinaryFramingErrorIsFatal: framing damage has no resync point,
+// so the server must end the stream with an error line — but still drain
+// what it accepted and emit the done accounting.
+func TestServerBinaryFramingErrorIsFatal(t *testing.T) {
+	const (
+		tpcm    = 0.01
+		profile = 20.0
+		total   = 2400
+	)
+	body := synthBin(t, 0, total, tpcm, 1000)
+	body = body[:len(body)-1]                         // strip the end frame
+	body = append(body, 0x7f, 0xde, 0xad, 0xbe, 0xef) // junk frame type
+
+	_, addr := startServer(t, Options{ProfileSeconds: profile})
+	res := runClient(t, addr, "sds/1 vm=bin-f profile=20 frames=bin", body)
+	if len(res.errorLines) != 1 {
+		t.Fatalf("error lines = %v, want exactly one framing error", res.errorLines)
+	}
+	if res.done == nil {
+		t.Fatal("no done line after framing error — accepted samples were not drained")
+	}
+	if res.done.samples != total {
+		t.Errorf("drained %d samples, want all %d accepted before the bad frame", res.done.samples, total)
+	}
+}
+
+// TestServerBinaryManyConcurrentStreams: the binary plane keeps the
+// zero-loss contract under concurrency (run with -race in CI).
+func TestServerBinaryManyConcurrentStreams(t *testing.T) {
+	const (
+		vms   = 16
+		tpcm  = 0.01
+		total = 3000
+	)
+	s, addr := startServer(t, Options{ProfileSeconds: 20, BufferSamples: 2048})
+	var wg sync.WaitGroup
+	results := make([]clientResult, vms)
+	for i := 0; i < vms; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := synthBin(t, 0, total, tpcm, 1000+float64(i))
+			results[i] = runClient(t, addr,
+				fmt.Sprintf("sds/1 vm=bin-%02d profile=20 frames=bin", i), body)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if len(res.errorLines) > 0 {
+			t.Errorf("vm %d errored: %v", i, res.errorLines)
+			continue
+		}
+		if res.done == nil || res.done.samples != total {
+			t.Errorf("vm %d accounted %v samples, want %d", i, res.done, total)
+		}
+	}
+	if got := s.Metrics().TotalSamples; got != uint64(vms*total) {
+		t.Errorf("fleet-wide samples = %d, want %d", got, vms*total)
+	}
+}
+
+// TestServerBadFramesField: an unknown frames= value is a handshake error.
+func TestServerBadFramesField(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	res := runClient(t, addr, "sds/1 vm=x frames=proto9", nil)
+	if len(res.errorLines) != 1 || res.okLine != "" {
+		t.Fatalf("bad frames value accepted: ok=%q errors=%v", res.okLine, res.errorLines)
+	}
+}

@@ -117,6 +117,10 @@ func TestServerChaosSuite(t *testing.T) {
 		{vm: "corrupt", faults: faultinject.Faults{Seed: 101, SkipLines: 2, CorruptEvery: 9}, hasDone: true},
 		{vm: "truncate", faults: faultinject.Faults{Seed: 102, SkipLines: 2, TruncateEvery: 51}, hasDone: true},
 		{vm: "torn", faults: faultinject.Faults{Seed: 103, SkipLines: 2, PartialWriteMax: 7, StallEvery: 2000, Stall: 200 * time.Microsecond}, hasDone: true},
+		// Every 401st line balloons past feed.MaxLineBytes: each must be
+		// quarantined (oversized lines used to kill the whole stream) and
+		// the samples around it must all survive.
+		{vm: "oversize", faults: faultinject.Faults{Seed: 104, SkipLines: 2, OversizeEvery: 401}, hasDone: true},
 		// Drops at t=120 s: 20 s into the attack, long past the first alarm.
 		// The write side half-closes at the cut, so the done line (with the
 		// abruptly shortened sample count) still reaches the client.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"net"
+	"os"
 	"strings"
 	"testing"
 
@@ -51,4 +52,63 @@ func TestGoldenSDSDTranscript(t *testing.T) {
 	conn.(*net.TCPConn).CloseWrite()
 
 	golden.AssertString(t, "testdata/golden/sdsd_transcript.txt", <-transcript)
+}
+
+// TestGoldenSDSDBinaryTranscript pins the same session as
+// TestGoldenSDSDTranscript carried over binary frames. Its fixture must
+// match the CSV one line-for-line after the ok line (which differs only by
+// vm name and the negotiated `frames=bin` suffix) — the byte-identical
+// alarm/done proof that the encoding does not leak into detection.
+func TestGoldenSDSDBinaryTranscript(t *testing.T) {
+	var stream bytes.Buffer
+	if _, err := WriteSimulatedStreamBinary(&stream, ReplaySpec{
+		App: "kmeans", Seconds: 160, AttackAt: 100, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, addr := startServer(t, Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	transcript := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		transcript <- sb.String()
+	}()
+	if _, err := conn.Write([]byte("sds/1 vm=golden app=kmeans scheme=sds profile=60 frames=bin\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(stream.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+
+	got := <-transcript
+	golden.AssertString(t, "testdata/golden/sdsd_transcript_bin.txt", got)
+
+	// Cross-check against the CSV fixture: everything after the ok line is
+	// byte-identical, and the ok lines differ only by the frames suffix.
+	csvBytes, err := os.ReadFile("testdata/golden/sdsd_transcript.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(csvBytes)
+	csvOK, csvRest, _ := strings.Cut(csv, "\n")
+	binOK, binRest, _ := strings.Cut(got, "\n")
+	if binRest != csvRest {
+		t.Errorf("alarm/done lines differ between CSV and binary transcripts")
+	}
+	if binOK != csvOK+" frames=bin" {
+		t.Errorf("ok lines: csv %q, bin %q — want same + \" frames=bin\"", csvOK, binOK)
+	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -30,6 +31,7 @@ type Metrics struct {
 	TotalSamples     uint64               `json:"total_samples"`
 	TotalAlarms      uint64               `json:"total_alarms"`
 	TotalQuarantined uint64               `json:"total_quarantined"`
+	TotalBinFrames   uint64               `json:"total_bin_frames"`
 	IdleEvictions    uint64               `json:"idle_evictions"`
 	SamplesPerSecond float64              `json:"samples_per_second"`
 	AlarmedVMs       []string             `json:"alarmed_vms"`
@@ -58,6 +60,7 @@ func (s *Server) Metrics() Metrics {
 		TotalSamples:     s.totalSamples.Load(),
 		TotalAlarms:      s.totalAlarms.Load(),
 		TotalQuarantined: s.totalQuarantined.Load(),
+		TotalBinFrames:   s.totalBinFrames.Load(),
 		IdleEvictions:    s.idleEvictions.Load(),
 		AlarmedVMs:       s.fleet.AlarmedVMs(),
 		VMs:              make(map[string]VMMetrics, len(entries)),
@@ -110,5 +113,9 @@ func (s *Server) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Metrics())
 	})
+	// Standard pprof endpoints so scale runs can be profiled in place
+	// (the ops listener is loopback-only by default).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	return mux
 }

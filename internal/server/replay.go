@@ -33,11 +33,11 @@ type ReplaySpec struct {
 	TPCM float64
 }
 
-// WriteSimulatedStream writes spec's telemetry stream to w in feed CSV
-// format (header included) and returns the number of samples written. The
-// stream is byte-identical to historical `detectd -record` output for the
-// same app/seed/attack parameters.
-func WriteSimulatedStream(w io.Writer, spec ReplaySpec) (int, error) {
+// simulateStream derives spec's deterministic sample sequence and feeds
+// each sample to emit — the single generator behind both stream encodings,
+// which is what makes a CSV replay and a binary replay of the same spec
+// sample-identical.
+func simulateStream(spec ReplaySpec, emit func(pcm.Sample) error) (int, error) {
 	if spec.Seconds <= 0 {
 		return 0, fmt.Errorf("replay duration must be positive, got %v", spec.Seconds)
 	}
@@ -68,14 +68,51 @@ func WriteSimulatedStream(w io.Writer, spec ReplaySpec) (int, error) {
 	if tpcm <= 0 {
 		tpcm = detect.DefaultConfig().TPCM
 	}
-	fw := feed.NewWriter(w)
 	n := pcm.SampleCount(spec.Seconds, tpcm)
 	for i := 0; i < n; i++ {
 		now := float64(i+1) * tpcm
 		a, m := model.Sample(tpcm, sched.Env(now, false))
-		if err := fw.Write(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
+		if err := emit(pcm.Sample{T: now, Access: a, Miss: m}); err != nil {
 			return i, err
 		}
 	}
+	return n, nil
+}
+
+// WriteSimulatedStream writes spec's telemetry stream to w in feed CSV
+// format (header included) and returns the number of samples written. The
+// stream is byte-identical to historical `detectd -record` output for the
+// same app/seed/attack parameters.
+func WriteSimulatedStream(w io.Writer, spec ReplaySpec) (int, error) {
+	fw := feed.NewWriter(w)
+	n, err := simulateStream(spec, fw.Write)
+	if err != nil {
+		return n, err
+	}
 	return n, fw.Flush()
+}
+
+// WriteSimulatedStreamBinary writes spec's telemetry stream to w as binary
+// frames (batched at feed.MaxFrameSamples, terminated by an end frame) and
+// returns the number of samples written. The samples are identical to
+// WriteSimulatedStream's for the same spec — only the encoding differs.
+func WriteSimulatedStreamBinary(w io.Writer, spec ReplaySpec) (int, error) {
+	bw := feed.NewBinWriter(w)
+	batch := make([]pcm.Sample, 0, feed.MaxFrameSamples)
+	n, err := simulateStream(spec, func(s pcm.Sample) error {
+		batch = append(batch, s)
+		if len(batch) == feed.MaxFrameSamples {
+			err := bw.WriteBatch(batch)
+			batch = batch[:0]
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if err := bw.WriteBatch(batch); err != nil {
+		return n, err
+	}
+	return n, bw.End()
 }

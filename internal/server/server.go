@@ -21,22 +21,36 @@ import (
 
 // Handshake is the first line every stream connection must send:
 //
-//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest>] [profile=<seconds>]
+//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest>] [profile=<seconds>] [frames=<csv|bin>]
 //
-// followed by the feed CSV stream (`t,access,miss` lines; header and '#'
-// comments allowed). Key=value fields may appear in any order; omitted
-// fields fall back to the server's defaults. The server answers with
-// line-oriented responses on the same connection:
+// followed by the telemetry stream in the negotiated encoding: feed CSV
+// (`t,access,miss` lines; header and '#' comments allowed — the default)
+// or, with `frames=bin`, the compact binary frame format of
+// feed.BinReader (batched 24-byte little-endian sample records; see
+// internal/feed/binary.go for the wire grammar). Key=value fields may
+// appear in any order; omitted fields fall back to the server's defaults.
+// The server answers with line-oriented text responses on the same
+// connection regardless of the stream encoding:
 //
-//	ok vm=<id> app=<name> scheme=<scheme> profile=<seconds>
+//	ok vm=<id> app=<name> scheme=<scheme> profile=<seconds> [frames=bin]
 //	alarm {"t":…,"detector":…,"metric":…,"reason":…}
 //	done vm=<id> samples=<ingested> monitored=<n> dropped=<d> alarms=<a>
 //	error: <message>
+//
+// The ok line confirms `frames=bin` when the binary encoding was
+// negotiated; CSV sessions keep the historical reply byte-for-byte (the
+// golden transcripts pin it).
 //
 // Clients that stream without reading MUST at minimum drain the socket at
 // end of stream: alarm lines are written inline and TCP backpressure from
 // an unread response buffer eventually pauses that VM's ingestion.
 const handshakeMagic = "sds/1"
+
+// Stream encodings negotiable via the handshake's frames field.
+const (
+	framesCSV = "csv"
+	framesBin = "bin"
+)
 
 // maxHandshakeLen bounds the handshake line.
 const maxHandshakeLen = 4096
@@ -89,6 +103,7 @@ type Server struct {
 	totalSamples     atomic.Uint64
 	totalAlarms      atomic.Uint64
 	totalQuarantined atomic.Uint64
+	totalBinFrames   atomic.Uint64
 	idleEvictions    atomic.Uint64
 }
 
@@ -380,13 +395,27 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	cw := &connWriter{w: bufio.NewWriter(conn)}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// A larger receive buffer batches the flow-control round trips: with
+		// the kernel default, a backpressured stream ping-pongs ~128 KiB
+		// chunks between sender wakeup and reader drain, and at 10k
+		// connections those per-chunk syscalls dominate the host's CPU.
+		tc.SetReadBuffer(256 * 1024)
+	}
 	var idler *idleConn
 	src := conn
 	if s.opts.IdleTimeout > 0 {
 		idler = &idleConn{Conn: conn, idle: s.opts.IdleTimeout, draining: &s.draining}
 		src = idler
 	}
-	br := bufio.NewReaderSize(src, 64*1024)
+	// The 64 KiB read buffer is recycled across connections: allocating and
+	// zeroing one per conn is ~640 MB of memory traffic at 10k streams.
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(src)
+	defer func() {
+		br.Reset(nil) // drop the conn reference before pooling
+		readerPool.Put(br)
+	}()
 	h, err := readHandshake(br)
 	if err != nil {
 		cw.line("error: %v", err)
@@ -403,26 +432,66 @@ func (s *Server) handleConn(conn net.Conn) {
 	// before the high-water mark were already ingested and are skipped so
 	// the session sees each sample exactly once, in order.
 	var resumeT float64
+	binFrames := h.frames == framesBin
+	var framesSuffix string
+	if binFrames {
+		framesSuffix = " frames=bin"
+	}
 	if resumed {
 		resumeT = sess.Stats().LastT
 		s.logf("vm %s: stream resumed (resume %d, last_t=%g)", h.vm, st.resumes, resumeT)
-		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g resumed=%d last_t=%g",
-			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, st.resumes, resumeT)
+		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g resumed=%d last_t=%g%s",
+			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, st.resumes, resumeT, framesSuffix)
 	} else {
-		s.logf("vm %s: stream open (app=%s scheme=%s profile=%gs)", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
-		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g", h.vm, spec.App, spec.Scheme, spec.ProfileSeconds)
+		s.logf("vm %s: stream open (app=%s scheme=%s profile=%gs frames=%s)",
+			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, orCSV(h.frames))
+		err = cw.line("ok vm=%s app=%s scheme=%s profile=%g%s",
+			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, framesSuffix)
 	}
 	if err != nil {
 		return
 	}
 
-	// Bounded pipeline: the reader parses samples into ch; the worker
-	// drains ch into the session. A full channel blocks the reader, which
-	// backpressures the client through TCP. On shutdown the reader stops
-	// (read deadline) and the worker still drains everything buffered, so
-	// no accepted sample is lost.
+	var procErr, readErr error
+	var evicted bool
+	if binFrames {
+		procErr, readErr, evicted = s.pumpBinary(br, idler, st, sess, h.vm, resumed, resumeT)
+	} else {
+		procErr, readErr, evicted = s.pumpCSV(br, idler, st, sess, h.vm, resumed, resumeT)
+	}
+
+	stats, closeErr := sess.Close()
+	switch {
+	case procErr != nil:
+		cw.line("error: %v", procErr)
+	case readErr != nil:
+		cw.line("error: %v", readErr)
+	case evicted:
+		cw.line("error: idle timeout: no samples for %v", s.opts.IdleTimeout)
+	case closeErr != nil:
+		cw.line("error: %v", closeErr)
+	}
+	cw.line("done vm=%s samples=%d monitored=%d dropped=%d alarms=%d",
+		h.vm, stats.Ingested(), stats.Monitored, stats.Dropped, stats.Alarms)
+	s.logf("vm %s: stream closed (%d samples, %d dropped, %d alarms, alarmed=%v)",
+		h.vm, stats.Ingested(), stats.Dropped, stats.Alarms, stats.Alarmed)
+}
+
+// orCSV names the effective encoding for log lines.
+func orCSV(frames string) string {
+	if frames == "" {
+		return framesCSV
+	}
+	return frames
+}
+
+// pumpCSV runs the CSV stream pipeline: the reader parses one sample per
+// line into a bounded channel; the worker drains it into the session. A
+// full channel blocks the reader, which backpressures the client through
+// TCP. On shutdown the reader stops (read deadline) and the worker still
+// drains everything buffered, so no accepted sample is lost.
+func (s *Server) pumpCSV(br *bufio.Reader, idler *idleConn, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
 	ch := make(chan pcm.Sample, s.opts.BufferSamples)
-	var procErr error
 	workerDone := make(chan struct{})
 	go func() {
 		defer close(workerDone)
@@ -438,8 +507,6 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}()
 
-	var readErr error
-	evicted := false
 	reader := feed.NewReader(br)
 	for {
 		smp, err := reader.Next()
@@ -453,7 +520,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				// one torn write must not kill an otherwise healthy stream.
 				st.quarantined.Add(1)
 				s.totalQuarantined.Add(1)
-				s.logf("vm %s: quarantined malformed line %d: %v", h.vm, pe.Line, pe.Err)
+				s.logf("vm %s: quarantined malformed line %d: %v", vm, pe.Line, pe.Err)
 				continue
 			}
 			if isDeadlineErr(err) {
@@ -474,22 +541,105 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	close(ch)
 	<-workerDone
+	return procErr, readErr, evicted
+}
 
-	stats, closeErr := sess.Close()
-	switch {
-	case procErr != nil:
-		cw.line("error: %v", procErr)
-	case readErr != nil:
-		cw.line("error: %v", readErr)
-	case evicted:
-		cw.line("error: idle timeout: no samples for %v", s.opts.IdleTimeout)
-	case closeErr != nil:
-		cw.line("error: %v", closeErr)
+// readerPool and batchPool recycle the per-connection ingest buffers. A
+// connection's working set (64 KiB read buffer plus depth+1 frame batches)
+// is allocated-and-zeroed exactly once and then circulates: at 10k
+// concurrent streams, per-conn allocation would cost >1 GB of memclr and
+// the GC churn to match.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 64*1024) }}
+	batchPool  = sync.Pool{New: func() any { return make([]pcm.Sample, 0, feed.MaxFrameSamples) }}
+)
+
+// pumpBinary runs the binary frame pipeline. Decoded batches recirculate
+// through a fixed pool of per-connection buffers (depth bounded by
+// BufferSamples), so steady-state ingest allocates nothing per frame: the
+// reader takes a free buffer, decodes one frame into it, and hands it to
+// the worker; the worker observes every sample and returns the buffer.
+// An empty free list blocks the reader — the same TCP backpressure
+// contract as the CSV pipeline, measured in frames instead of samples.
+//
+// Non-finite samples are quarantined per sample (framing stays intact);
+// framing damage — unknown frame type, bad count, truncated payload — is
+// fatal because a byte stream without newlines has no resync point.
+func (s *Server) pumpBinary(br *bufio.Reader, idler *idleConn, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
+	depth := s.opts.BufferSamples / feed.MaxFrameSamples
+	if depth < 2 {
+		depth = 2
 	}
-	cw.line("done vm=%s samples=%d monitored=%d dropped=%d alarms=%d",
-		h.vm, stats.Ingested(), stats.Monitored, stats.Dropped, stats.Alarms)
-	s.logf("vm %s: stream closed (%d samples, %d dropped, %d alarms, alarmed=%v)",
-		h.vm, stats.Ingested(), stats.Dropped, stats.Alarms, stats.Alarmed)
+	data := make(chan []pcm.Sample, depth)
+	free := make(chan []pcm.Sample, depth+1)
+	for i := 0; i < depth+1; i++ {
+		free <- batchPool.Get().([]pcm.Sample)
+	}
+	defer func() {
+		// The pipeline is quiesced here (worker done, channels drained), so
+		// every buffer is back on free; return them for the next connection.
+		close(free)
+		for buf := range free {
+			batchPool.Put(buf[:0])
+		}
+	}()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		for batch := range data {
+			if procErr == nil {
+				n, err := sess.ObserveBatch(batch)
+				s.totalSamples.Add(uint64(n))
+				if err != nil {
+					procErr = err
+				}
+			}
+			free <- batch[:0]
+		}
+	}()
+
+	bin := feed.NewBinReader(br)
+	for {
+		buf := <-free
+		n, q, err := bin.ReadFrame(buf)
+		if q > 0 {
+			st.quarantined.Add(uint64(q))
+			s.totalQuarantined.Add(uint64(q))
+			s.logf("vm %s: quarantined %d non-finite samples in frame %d", vm, q, bin.Frames())
+		}
+		if err != nil {
+			free <- buf
+			if err == io.EOF {
+				break
+			}
+			if isDeadlineErr(err) {
+				if idler != nil && idler.evicted.Load() {
+					evicted = true
+					s.idleEvictions.Add(1)
+				}
+				// Otherwise: shutdown interrupt — end of stream, drain.
+			} else {
+				readErr = err
+			}
+			break
+		}
+		s.totalBinFrames.Add(1)
+		batch := buf[:n]
+		if resumed {
+			k := 0
+			for _, smp := range batch {
+				if smp.T > resumeT {
+					batch[k] = smp
+					k++
+				}
+			}
+			batch = batch[:k]
+		}
+		data <- batch
+	}
+	close(data)
+	<-workerDone
+	return procErr, readErr, evicted
 }
 
 // Stream is an in-process VM stream: the same lifecycle as a connection,
@@ -565,6 +715,7 @@ type handshake struct {
 	app            string
 	scheme         string
 	profileSeconds float64
+	frames         string // "", framesCSV or framesBin
 }
 
 // readHandshake reads and parses the handshake line.
@@ -604,6 +755,13 @@ func parseHandshake(line string) (handshake, error) {
 				return handshake{}, fmt.Errorf("bad profile window %q", val)
 			}
 			h.profileSeconds = sec
+		case "frames":
+			switch val {
+			case framesCSV, framesBin:
+				h.frames = val
+			default:
+				return handshake{}, fmt.Errorf("unknown frames encoding %q (want csv or bin)", val)
+			}
 		default:
 			return handshake{}, fmt.Errorf("unknown handshake field %q", key)
 		}

@@ -149,10 +149,48 @@ func (s *Session) Observe(smp pcm.Sample) error {
 	if s.err != nil {
 		return s.err
 	}
+	if err := s.observeLocked(smp); err != nil {
+		return err
+	}
+	return s.emitLocked()
+}
+
+// ObserveBatch ingests a decoded frame under a single lock acquisition,
+// with one alarm-emission pass at the end instead of one per sample — the
+// binary ingest pipeline's hot path. It returns how many samples were
+// consumed before any error.
+func (s *Session) ObserveBatch(batch []pcm.Sample) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, smp := range batch {
+		if s.err != nil {
+			return i, s.err
+		}
+		if err := s.observeLocked(smp); err != nil {
+			return i, err
+		}
+	}
+	return len(batch), s.emitLocked()
+}
+
+// observeLocked advances the lifecycle for one sample. Alarm emission is
+// left to the caller's trailing emitLocked so batched callers pay for it
+// once per frame.
+func (s *Session) observeLocked(smp pcm.Sample) error {
 	s.lastT = smp.T
 	if s.profiling {
-		if len(s.profileSamples) == 0 {
+		if s.profileSamples == nil {
 			s.cutoff = smp.T + s.spec.ProfileSeconds
+			// Preallocate the whole Stage-1 window. Growing it by doubling
+			// re-copies every session's window ~twice — at thousands of
+			// concurrent sessions that is hundreds of MB of memmove on the
+			// ingest hot path. The cap keeps an absurd ProfileSeconds from
+			// reserving memory up front; append grows past it if needed.
+			n := int(s.spec.ProfileSeconds/s.spec.Config.TPCM) + 1
+			if n > 1<<20 {
+				n = 1 << 20
+			}
+			s.profileSamples = make([]pcm.Sample, 0, n)
 		}
 		if smp.T < s.cutoff {
 			s.profileSamples = append(s.profileSamples, smp)
@@ -169,7 +207,7 @@ func (s *Session) Observe(smp pcm.Sample) error {
 	}
 	s.monitored++
 	s.guard.Observe(smp)
-	return s.emitLocked()
+	return nil
 }
 
 // finishProfileLocked builds the profile and detector from the accumulated
@@ -205,8 +243,10 @@ func (s *Session) finishProfileLocked() error {
 }
 
 // emitLocked forwards alarms raised since the last emission to OnAlarm.
+// The count poll keeps the per-sample path allocation-free: Alarms() copies
+// the slice, so it only runs when something new actually fired.
 func (s *Session) emitLocked() error {
-	if s.guard == nil {
+	if s.guard == nil || s.guard.AlarmCount() == s.emitted {
 		return nil
 	}
 	alarms := s.guard.Alarms()

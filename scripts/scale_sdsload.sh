@@ -1,0 +1,79 @@
+#!/bin/sh
+# Scale-run the sdsd ingest plane: launch one sdsd, drive it with VMS
+# concurrent sdsload streams (default 10000) in binary-frame mode, assert
+# zero sample loss, and record the sustained samples/sec in the benchmark
+# trajectory. A second pass with the same parameters over CSV frames gives
+# the baseline the binary plane is measured against.
+#
+#   scripts/scale_sdsload.sh                # 10k binary + 10k CSV baseline
+#   SDSD_VMS=2000 scripts/scale_sdsload.sh  # smaller rehearsal
+#   SDSD_BENCH_OUT=bench_scale.txt          # where the bench lines land
+#
+# Streams are pre-rendered (-prebuild) so the timed window measures the
+# transport and server ingest, not client-side sample generation. Each VM
+# streams 60 virtual seconds at the Table 1 sampling interval with a 15 s
+# Stage-1 profile window — long enough to clear the profiler's minimum
+# window count and amortize the connection ramp, short enough that 10k
+# profile windows fit comfortably in memory.
+#
+# Both processes run with GOGC=600: at 10k connections the default GC
+# target spends a measurable slice of the single-digit-core budget on
+# collection cycles, and the steady-state live set (profile windows +
+# per-conn buffers) is small relative to host memory.
+set -eu
+
+ADDR=${SDSD_ADDR:-127.0.0.1:17041}
+OPS=${SDSD_OPS:-127.0.0.1:17042}
+VMS=${SDSD_VMS:-10000}
+SECONDS_PER_VM=${SDSD_SECONDS:-60}
+PROFILE=${SDSD_PROFILE:-15}
+OUT=${SDSD_BENCH_OUT:-bench_scale.txt}
+export GOGC=${GOGC:-600}
+
+fdneed=$((VMS + 100))
+if [ "$(ulimit -n)" -lt "$fdneed" ]; then
+    echo "scale: need $fdneed fds for $VMS streams, have $(ulimit -n) (raise ulimit -n)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+sdsd_pid=""
+cleanup() {
+    [ -n "$sdsd_pid" ] && kill "$sdsd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/sdsd" ./cmd/sdsd
+go build -o "$tmp/sdsload" ./cmd/sdsload
+
+: > "$OUT"
+
+run_pass() {
+    frames=$1
+    name=$2
+    "$tmp/sdsd" -listen "$ADDR" -ops "$OPS" -profile-seconds "$PROFILE" \
+        2>"$tmp/sdsd-$frames.log" &
+    sdsd_pid=$!
+    # sdsload retries its connections, so no explicit wait-for-listen is
+    # needed; 100 retries ride out 10k streams racing one accept loop.
+    "$tmp/sdsload" -addr "$ADDR" -vms "$VMS" -seconds "$SECONDS_PER_VM" \
+        -profile-seconds "$PROFILE" -frames "$frames" -prebuild \
+        -connect-retries 100 -bench-name "$name" | tee -a "$OUT" || {
+        echo "scale: $frames pass failed; server log tail:" >&2
+        tail -20 "$tmp/sdsd-$frames.log" >&2
+        exit 1
+    }
+    kill -TERM "$sdsd_pid"
+    wait "$sdsd_pid" || {
+        echo "scale: sdsd exited non-zero on drain ($frames pass)" >&2
+        tail -20 "$tmp/sdsd-$frames.log" >&2
+        exit 1
+    }
+    sdsd_pid=""
+}
+
+run_pass bin "ServerIngestBin${VMS}VMs"
+run_pass csv "ServerIngestCSV${VMS}VMs"
+
+echo "scale: ok — bench lines appended to $OUT"
