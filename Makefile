@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-scale bench-check cover cover-check chaos goldens verify repro smoke fuzz-smoke clean
+.PHONY: all build test race vet bench bench-all bench-scale bench-check cover cover-check chaos goldens verify repro smoke smoke-cloudsim fuzz-smoke clean
 
 all: build vet test
 
@@ -26,13 +26,15 @@ race:
 # with the default time budget for stable ns/op. When a scale run has left
 # bench_scale.txt behind (make bench-scale), its sustained-throughput lines
 # are merged into the same trajectory.
-BENCH_PR ?= 6
+BENCH_PR ?= 7
 BENCH_FIGURES := Table1Defaults|Fig|Sec32FalseAlarmRates|Ablation
 BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve
 bench:
 	$(GO) test -run=NONE -bench='$(BENCH_FIGURES)' -benchmem -benchtime=10x . | tee bench_output.txt
 	$(GO) test -run=NONE -bench='$(BENCH_MICRO)' -benchmem . | tee -a bench_output.txt
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/feed ./internal/detect ./internal/server | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench='BenchmarkCloud' -benchmem -benchtime=1x ./internal/cloudsim | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench='BlockModelStep' -benchmem ./internal/cloudsim | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_PR$(BENCH_PR).json bench_output.txt $(wildcard bench_scale.txt)
 
 # The 10k-stream ingest scale run (binary + CSV baseline); appends its
@@ -96,6 +98,12 @@ repro:
 # attacked VM streams at it with sdsload, assert zero loss + alarms + drain.
 smoke:
 	./scripts/smoke_sdsd.sh
+
+# End-to-end smoke of the datacenter simulation: build the cloudsim CLI,
+# compare mitigation policies on a small cluster, assert a quarantine is
+# scored and the JSON output is deterministic across invocations.
+smoke-cloudsim:
+	./scripts/smoke_cloudsim.sh
 
 # Short fuzz pass over the feed parsers — CSV and the binary frame codec
 # (one run per target: go test -fuzz accepts a single match).

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/memdos/sds/internal/cloudsim"
+	"github.com/memdos/sds/internal/experiment"
+)
+
+func testConfig() experiment.Config {
+	cfg := experiment.DefaultConfig()
+	cfg.Runs = 2
+	cfg.Parallel = 0
+	return cfg
+}
+
+func testScenario() cloudsim.Scenario {
+	return cloudsim.Scenario{
+		Name:           "test",
+		Hosts:          4,
+		VMsPerHost:     3,
+		Seconds:        300,
+		Apps:           []string{"kmeans"},
+		ProfileSeconds: 400,
+		Attackers:      1,
+		AttackKind:     cloudsim.AttackBusLock,
+		AttackStart:    60,
+		RelocateMean:   80,
+	}
+}
+
+func TestRunRendersPolicyTable(t *testing.T) {
+	var out strings.Builder
+	policies := []string{cloudsim.PolicyNone, cloudsim.PolicyThrottleMigrate}
+	if err := run(&out, testConfig(), testScenario(), policies, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"cloud mitigation policies", "none", "throttle-migrate", "samples/s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSONDeterministic(t *testing.T) {
+	policies := []string{cloudsim.PolicyMigrate}
+	var a, b strings.Builder
+	if err := run(&a, testConfig(), testScenario(), policies, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, testConfig(), testScenario(), policies, true); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON output differs between identical invocations")
+	}
+	var parsed struct {
+		Cells     []experiment.CloudCell          `json:"cells"`
+		Summaries []experiment.CloudPolicySummary `json:"summaries"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(parsed.Cells) != 2 || len(parsed.Summaries) != 1 {
+		t.Fatalf("unexpected grid shape: %d cells, %d summaries", len(parsed.Cells), len(parsed.Summaries))
+	}
+}
+
+func TestLoadScenarioAndFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(`{"hosts": 50, "seconds": 600, "attackers": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyFlags(&sc, 100, 0, 0, "", "", -1)
+	if sc.Hosts != 50 || sc.Seconds != 600 || sc.Attackers != 2 {
+		t.Fatalf("scenario file fields lost: %+v", sc)
+	}
+
+	sc = cloudsim.Scenario{}
+	applyFlags(&sc, 100, 0, 0, "exact", "KStest", -1)
+	if sc.Hosts != 100 || sc.Attackers != 100/20+1 || sc.Fidelity != "exact" || sc.Scheme != "KStest" {
+		t.Fatalf("flag defaults not applied: %+v", sc)
+	}
+
+	if _, err := loadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing scenario file accepted")
+	}
+}
+
+func TestSplitPolicies(t *testing.T) {
+	got := splitPolicies(" none, migrate ,,throttle-migrate ")
+	want := []string{"none", "migrate", "throttle-migrate"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package cloudsim
+
+import (
+	"math"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/randx"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// blockModel is the closed-form telemetry generator of FidelityWindow: one
+// step produces the mean of a ΔW-sample block of (AccessNum, MissNum)
+// counters with the same per-block distribution the per-sample
+// workload.Model induces, at a fraction of the draws.
+//
+//   - The phase level is integrated exactly over the block (renewal walk of
+//     the two-level process, time-weighted).
+//   - The periodic waveform is integrated in closed form over the block's
+//     cycle span, with the same work-term period stretch under attack and
+//     the same OU phase noise (stepped once per block).
+//   - Bursts trigger with the per-block probability BurstProb·Δt and
+//     contribute their time overlap with the block.
+//   - Sampling noise enters once per counter per block as the CLT image of
+//     ΔW iid mean-1 lognormal factors: Normal(1, cv/√ΔW). Consecutive
+//     moving-average windows share ΔW-blocks through the caller's ring, so
+//     the MA series keeps the overlap correlation of the exact pipeline.
+//
+// Attack responses use the block-mean intensities (the schedules are
+// piecewise linear, so their interval means are exact): AccessNum shrinks
+// by BusLockDrop·Ī_bus, MissNum inflates by CleanseMissGain·Ī_cleanse, and
+// the period stretches by PeriodStretch·max(Ī).
+type blockModel struct {
+	prof workload.Profile
+	rng  *randx.Rand
+
+	dt  float64 // block duration, seconds
+	sdA float64 // CLT std of the block-mean access noise factor
+	sdM float64
+
+	t          float64
+	phaseHigh  bool
+	phaseUntil float64
+	burstUntil float64
+	burstSign  float64
+	cyclePos   float64
+	phaseNoise float64
+	ouDecay    float64
+	ouSigma    float64
+}
+
+// newBlockModel returns a block generator for the profile, drawing from rng.
+// samplesPerBlock is ΔW; blockSeconds is ΔW·T_PCM.
+func newBlockModel(prof workload.Profile, rng *randx.Rand, blockSeconds float64, samplesPerBlock int) *blockModel {
+	m := &blockModel{prof: prof, rng: rng, dt: blockSeconds}
+	sqrtK := math.Sqrt(float64(samplesPerBlock))
+	m.sdA = prof.AccessCV / sqrtK
+	m.sdM = prof.MissCV / sqrtK
+	if prof.PhaseDelta > 0 {
+		m.phaseHigh = rng.Bool(0.5)
+		m.phaseUntil = m.phaseDuration()
+	}
+	if prof.Periodic {
+		m.cyclePos = rng.Float64()
+		if prof.PeriodJitter > 0 {
+			m.phaseNoise = rng.Normal(0, prof.PeriodJitter)
+			const tau = 10.0 // same OU relaxation as workload.Model
+			m.ouDecay = math.Exp(-blockSeconds / tau)
+			m.ouSigma = prof.PeriodJitter * math.Sqrt(1-m.ouDecay*m.ouDecay)
+		}
+	}
+	return m
+}
+
+// phaseDuration draws the next phase length with the model's bounded
+// renewal distribution.
+func (m *blockModel) phaseDuration() float64 {
+	return m.prof.MeanPhaseDur * m.rng.Uniform(0.5, 1.5)
+}
+
+// step advances one block under the given block-mean attack intensities and
+// returns the block-mean counters.
+func (m *blockModel) step(bus, cleanse float64) (access, miss float64) {
+	p := &m.prof
+	t0 := m.t
+	m.t += m.dt
+
+	level := 1.0
+	if p.PhaseDelta > 0 {
+		level = m.levelOver(t0, m.t)
+	}
+
+	wave := 0.0
+	if p.Periodic {
+		intensity := bus
+		if cleanse > intensity {
+			intensity = cleanse
+		}
+		period := p.PeriodSec * (1 + p.PeriodStretch*intensity)
+		span := m.dt / period
+		pos := m.cyclePos + m.phaseNoise
+		m.cyclePos += span
+		m.cyclePos -= math.Floor(m.cyclePos)
+		if p.PeriodJitter > 0 {
+			m.phaseNoise = m.phaseNoise*m.ouDecay + m.rng.Normal(0, m.ouSigma)
+		}
+		wave = p.PeriodAmp * waveMean(pos, span)
+	}
+
+	burst := m.burstOver(t0, m.t)
+
+	access = p.BaseAccess * (level + wave + burst)
+	if m.sdA > 0 {
+		access *= 1 + m.rng.Normal(0, m.sdA)
+	}
+	if bus > 0 {
+		access *= 1 - p.BusLockDrop*bus
+	}
+	if access < 0 {
+		access = 0
+	}
+	miss = access * p.MissRatio
+	if m.sdM > 0 {
+		miss *= 1 + m.rng.Normal(0, m.sdM)
+	}
+	if cleanse > 0 {
+		miss *= 1 + p.CleanseMissGain*cleanse
+	}
+	if miss < 0 {
+		miss = 0
+	}
+	if miss > access {
+		miss = access
+	}
+	return access, miss
+}
+
+// levelOver integrates the two-level phase process over [t0, t1] and
+// returns its time-weighted mean, walking the renewal chain as it goes.
+func (m *blockModel) levelOver(t0, t1 float64) float64 {
+	p := &m.prof
+	acc := 0.0
+	cur := t0
+	for {
+		end := t1
+		if m.phaseUntil < end {
+			end = m.phaseUntil
+		}
+		lv := 1 - p.PhaseDelta
+		if m.phaseHigh {
+			lv = 1 + p.PhaseDelta
+		}
+		acc += lv * (end - cur)
+		cur = end
+		if cur >= t1 {
+			return acc / (t1 - t0)
+		}
+		m.phaseHigh = !m.phaseHigh
+		m.phaseUntil += m.phaseDuration()
+	}
+}
+
+// burstOver triggers and integrates rare out-of-profile bursts over the
+// block, returning their mean contribution.
+func (m *blockModel) burstOver(t0, t1 float64) float64 {
+	p := &m.prof
+	if p.BurstProb <= 0 {
+		return 0
+	}
+	if t0 >= m.burstUntil && m.rng.Bool(p.BurstProb*(t1-t0)) {
+		m.burstUntil = t0 + p.BurstDur
+		m.burstSign = 1
+		if m.rng.Bool(0.5) {
+			m.burstSign = -1
+		}
+	}
+	if m.burstUntil <= t0 {
+		return 0
+	}
+	overlap := math.Min(m.burstUntil, t1) - t0
+	return m.burstSign * p.BurstMag * overlap / (t1 - t0)
+}
+
+// waveMean returns the mean of the model's two-harmonic waveform
+// 0.8·sin(2πx) + 0.2·sin(4πx+1) over cycle positions [pos, pos+span].
+func waveMean(pos, span float64) float64 {
+	if span < 1e-12 {
+		a := 2 * math.Pi * pos
+		return 0.8*math.Sin(a) + 0.2*math.Sin(2*a+1)
+	}
+	a0 := 2 * math.Pi * pos
+	a1 := 2 * math.Pi * (pos + span)
+	first := 0.8 * (math.Cos(a0) - math.Cos(a1)) / (2 * math.Pi)
+	second := 0.2 * (math.Cos(2*a0+1) - math.Cos(2*a1+1)) / (4 * math.Pi)
+	return (first + second) / span
+}
+
+// meanIntensity returns the exact mean of a schedule's intensity over
+// [a, b]: the ramp is linear and the plateau constant, so the integral is a
+// trapezoid.
+func meanIntensity(s attack.Schedule, a, b float64) float64 {
+	if s.Kind == attack.None || b <= a {
+		return 0
+	}
+	stop := s.Stop
+	if stop <= 0 {
+		stop = math.Inf(1)
+	}
+	lo := math.Max(a, s.Start)
+	hi := math.Min(b, stop)
+	if hi <= lo {
+		return 0
+	}
+	var area float64
+	if s.Ramp > 0 {
+		if rampEnd := s.Start + s.Ramp; lo < rampEnd {
+			re := math.Min(hi, rampEnd)
+			i0 := (lo - s.Start) / s.Ramp
+			i1 := (re - s.Start) / s.Ramp
+			area += (i0 + i1) / 2 * (re - lo)
+			lo = re
+		}
+	}
+	if hi > lo {
+		area += hi - lo
+	}
+	return area / (b - a)
+}

@@ -1,0 +1,101 @@
+package cloudsim
+
+import (
+	"strconv"
+
+	"github.com/memdos/sds/internal/attack"
+)
+
+// Attacker campaigns and benign co-residency churn: the event handlers that
+// move VMs around the cluster.
+
+// handleArrive creates one churn VM, places it, and schedules both its
+// departure and the next arrival (a Poisson arrival process with
+// exponential lifetimes). Churn VMs are unmonitored load: they shift
+// placement decisions and co-residency, and absorb throttles and attacks
+// like any other benign VM.
+func (e *engine) handleArrive(now float64) {
+	id := len(e.vms)
+	app := e.sc.Apps[e.churnSeq%len(e.sc.Apps)]
+	e.churnSeq++
+	v := &vm{
+		id:   id,
+		name: "vm" + strconv.Itoa(id),
+		role: roleBenign,
+		app:  app,
+		prof: e.appProfs[app],
+		host: -1,
+	}
+	e.vms = append(e.vms, v)
+	e.res.Churned++
+	e.pickHost(-1).add(v, now)
+	e.push(event{tick: e.tickFor(now + e.churnRng.Exp(e.sc.ChurnLifetimeMean)), kind: evDepart, host: -1, vm: int32(id)})
+	e.push(event{tick: e.tickFor(now + e.churnRng.Exp(60/e.sc.ChurnArrivalsPerMin)), kind: evArrive, host: -1, vm: -1})
+}
+
+// handleDepart retires a churn VM, folding its accounting into the totals.
+func (e *engine) handleDepart(v *vm) {
+	if v.host < 0 {
+		return
+	}
+	e.fold(v)
+	e.hosts[v.host].remove(v)
+}
+
+// handlePlace co-locates an attacker with its current target and starts a
+// new attack episode. The schedule's start is the exact (unquantized)
+// relocation time stored at scheduling, so ramps are not perturbed by
+// event-tick rounding — the equivalence test depends on this.
+func (e *engine) handlePlace(a *vm, now float64) {
+	if a.host >= 0 {
+		e.hosts[a.host].remove(a)
+	}
+	tgt := e.vms[a.target]
+	e.hosts[tgt.host].add(a, now)
+	ramp := e.sc.AttackRamp
+	if ramp == 0 {
+		ramp = e.campRng.Uniform(e.sc.RampMin, e.sc.RampMax)
+	}
+	a.sched = attack.Schedule{Kind: a.kind, Start: a.nextStart, Ramp: ramp}
+	a.attacking = true
+	a.episodeStart = a.nextStart
+	if e.sc.DwellMean > 0 {
+		e.push(event{tick: e.tickFor(now + e.campRng.Exp(e.sc.DwellMean)), kind: evHop, host: -1, vm: int32(a.id)})
+	}
+}
+
+// handleHop ends an attacker's dwell on its current host mid-campaign: it
+// stops attacking, leaves, retargets, and schedules its next co-location.
+func (e *engine) handleHop(a *vm, now float64) {
+	if !a.attacking {
+		return // the episode already ended (the victim was migrated away)
+	}
+	a.sched.Stop = now
+	a.attacking = false
+	if a.host >= 0 {
+		e.hosts[a.host].remove(a)
+		a.paused = false
+	}
+	e.retarget(a)
+	e.scheduleRelocate(a, now)
+}
+
+// retarget moves a campaigning attacker to a different victim (uniform over
+// the others, from the campaign stream).
+func (e *engine) retarget(a *vm) {
+	n := len(e.victims)
+	if n <= 1 {
+		return
+	}
+	a.targetIdx = (a.targetIdx + 1 + e.campRng.IntN(n-1)) % n
+	a.target = e.victims[a.targetIdx]
+}
+
+// scheduleRelocate queues the attacker's next co-location after an
+// exponential relocation delay (finding and reaching the target's host
+// takes time), recording the exact start time for the new schedule.
+func (e *engine) scheduleRelocate(a *vm, now float64) {
+	at := now + e.campRng.Exp(e.sc.RelocateMean)
+	a.nextStart = at
+	e.push(event{tick: e.tickFor(at), kind: evPlace, host: -1, vm: int32(a.id)})
+}

@@ -1,0 +1,80 @@
+package cloudsim
+
+import "container/heap"
+
+// eventKind identifies what an event does. The declaration order is the
+// tie-break order between different events scheduled for the same tick:
+// capacity is released (departures, campaign hops) before verdicts and new
+// mitigations are applied, and those before capacity is consumed (arrivals,
+// attacker placements).
+type eventKind uint8
+
+const (
+	evDepart         eventKind = iota // churn VM leaves the cluster
+	evHop                             // attacker abandons its host mid-campaign
+	evVerifyThrottle                  // end of throttle stage: confirm or absolve
+	evVerifyMigrate                   // end of post-migration watch
+	evResume                          // migrated VM resumes on its new host
+	evMitigate                        // reaction to an alarm fires
+	evArrive                          // churn VM arrives
+	evPlace                           // attacker (re-)co-locates with its target
+)
+
+// event is one scheduled state change. vm is the subject VM id (-1 for
+// arrivals, which create their VM on application); host is only meaningful
+// where the subject VM is not yet placed. seq is the insertion counter and
+// the *last* comparison key: it only breaks ties between events that are
+// identical in every semantic field, so permuting the insertion order of
+// same-tick events cannot reorder distinct work (the determinism property
+// pinned by TestEventOrderInsensitive).
+type event struct {
+	tick int64
+	kind eventKind
+	host int32
+	vm   int32
+	seq  uint64
+}
+
+// less is the total order of the event queue.
+func (a event) less(b event) bool {
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.host != b.host {
+		return a.host < b.host
+	}
+	if a.vm != b.vm {
+		return a.vm < b.vm
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a standard container/heap min-heap over events.
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].less(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// push inserts an event, assigning the next sequence number.
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, ev)
+}
+
+// pop removes and returns the earliest event.
+func (e *engine) pop() event {
+	return heap.Pop(&e.heap).(event)
+}

@@ -1,0 +1,76 @@
+package cloudsim
+
+import (
+	"container/heap"
+	"testing"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// TestEventOrderInsensitive pins the determinism contract of the event
+// queue: the pop order of a set of distinct events is a pure function of
+// their semantic keys (tick, kind, host, vm) — permuting the insertion
+// order, and with it the seq numbers, cannot change it.
+func TestEventOrderInsensitive(t *testing.T) {
+	base := []event{
+		{tick: 100, kind: evMitigate, vm: 3},
+		{tick: 100, kind: evMitigate, vm: 1},
+		{tick: 100, kind: evDepart, vm: 9},
+		{tick: 100, kind: evPlace, vm: 2},
+		{tick: 100, kind: evArrive, vm: -1},
+		{tick: 50, kind: evPlace, vm: 7},
+		{tick: 150, kind: evDepart, vm: 1},
+		{tick: 100, kind: evVerifyThrottle, vm: 4},
+		{tick: 100, kind: evVerifyMigrate, vm: 4},
+		{tick: 100, kind: evResume, vm: 0},
+		{tick: 100, kind: evHop, vm: 5},
+		{tick: 100, kind: evPlace, host: 2},
+	}
+
+	popAll := func(events []event) []event {
+		var h eventHeap
+		for i, ev := range events {
+			ev.seq = uint64(i)
+			heap.Push(&h, ev)
+		}
+		out := make([]event, 0, len(events))
+		for h.Len() > 0 {
+			out = append(out, heap.Pop(&h).(event))
+		}
+		// seq depends on insertion order by construction; the contract is
+		// about the semantic fields only.
+		for i := range out {
+			out[i].seq = 0
+		}
+		return out
+	}
+
+	want := popAll(base)
+	rng := randx.New(42, 7)
+	for trial := 0; trial < 50; trial++ {
+		perm := make([]event, len(base))
+		for i, j := range rng.Perm(len(base)) {
+			perm[i] = base[j]
+		}
+		got := popAll(perm)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop order diverged at %d:\n got %+v\nwant %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEventSeqBreaksIdenticalTies checks that fully identical events pop in
+// insertion order rather than nondeterministically.
+func TestEventSeqBreaksIdenticalTies(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 5; i++ {
+		heap.Push(&h, event{tick: 10, kind: evArrive, vm: -1, seq: uint64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		if got := heap.Pop(&h).(event).seq; got != uint64(i) {
+			t.Fatalf("identical events out of insertion order: pop %d got seq %d", i, got)
+		}
+	}
+}

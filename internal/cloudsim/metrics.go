@@ -1,0 +1,93 @@
+package cloudsim
+
+import (
+	"github.com/memdos/sds/internal/metrics"
+)
+
+// Result is the end-to-end score of one datacenter run. It is fully
+// deterministic for a given Scenario: the determinism tests compare
+// JSON-marshalled Results byte for byte.
+type Result struct {
+	// Scenario echoes the scenario name and headline shape.
+	Scenario string `json:"scenario,omitempty"`
+	Policy   string `json:"policy"`
+	Fidelity string `json:"fidelity"`
+	Scheme   string `json:"scheme"`
+	Hosts    int    `json:"hosts"`
+	// VMs counts the long-lived benign VMs (victims included), Attackers
+	// the attacker VMs, Churned the churn VMs created during the run.
+	VMs       int     `json:"vms"`
+	Attackers int     `json:"attackers"`
+	Churned   int     `json:"churned"`
+	Seconds   float64 `json:"seconds"`
+
+	// Events is the number of discrete events applied; Blocks the number
+	// of telemetry blocks generated; SamplesRepresented the raw-sample
+	// equivalents those cover (blocks·ΔW at window fidelity). The ratio of
+	// SamplesRepresented to wall time is the engine's headline throughput.
+	Events             int64 `json:"events"`
+	Blocks             int64 `json:"blocks"`
+	SamplesRepresented int64 `json:"samples_represented"`
+
+	// Detection outcomes. FalseAlarms are alarms raised on a host with no
+	// active attacker.
+	Alarms      int `json:"alarms"`
+	TrueAlarms  int `json:"true_alarms"`
+	FalseAlarms int `json:"false_alarms"`
+
+	// Mitigation-loop outcomes. FalseMigrations are migrations executed
+	// while no attacker was active on the victim's host; Absolved counts
+	// throttle-stage verdicts that correctly attributed the anomaly to the
+	// VM itself (no migration); Confirmed counts throttle-stage verdicts
+	// that confirmed external contention. Recoveries/ReAlarms split the
+	// post-migration verification watch.
+	Mitigations     int `json:"mitigations"`
+	Migrations      int `json:"migrations"`
+	FalseMigrations int `json:"false_migrations"`
+	Absolved        int `json:"absolved"`
+	Confirmed       int `json:"confirmed"`
+	Recoveries      int `json:"recoveries"`
+	ReAlarms        int `json:"re_alarms"`
+
+	// TimeToQuarantine summarizes, per ended attack episode, the seconds
+	// from the attacker achieving co-location to the victim being migrated
+	// away from it.
+	TimeToQuarantine metrics.Distribution `json:"time_to_quarantine"`
+	// QuarantineCount is the number of episodes ended by a migration.
+	QuarantineCount int `json:"quarantine_count"`
+
+	// VictimSlowdown and BenignSlowdown are 1 − progress/elapsed pooled
+	// over the respective populations (migration downtime included).
+	// VictimExposureSec is the mean intensity-seconds of attack each
+	// victim absorbed.
+	VictimSlowdown    float64 `json:"victim_slowdown"`
+	BenignSlowdown    float64 `json:"benign_slowdown"`
+	VictimExposureSec float64 `json:"victim_exposure_sec"`
+
+	// AlarmDigest is an FNV-1a hash over every (vm, tick) alarm edge — a
+	// strong per-VM determinism witness that survives in the compact
+	// Result.
+	AlarmDigest uint64 `json:"alarm_digest"`
+}
+
+// noteAlarm folds one alarm edge into the digest.
+func (r *Result) noteAlarm(vmID int, tick int64) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := r.AlarmDigest
+	if h == 0 {
+		h = offset
+	}
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(uint64(vmID))
+	mix(uint64(tick))
+	r.AlarmDigest = h
+}

@@ -76,6 +76,18 @@ type Detector interface {
 	Alarms() []Alarm
 }
 
+// WindowObserver is the window-level batch-observation contract next to
+// Detector.Observe: implementations accept the moving averages M_n of the
+// two counters directly, bypassing their internal averagers. The
+// event-driven cloud simulator generates telemetry in closed-form ΔW-sample
+// blocks and feeds detectors through this interface; SDS, SDS/B and SDS/P
+// implement it (KStest does not — it consumes raw samples and is only
+// available at exact fidelity). A detector must be fed through either
+// Observe or ObserveMA for its whole lifetime, never a mix.
+type WindowObserver interface {
+	ObserveMA(t float64, maAccess, maMiss float64)
+}
+
 // AlarmCounter is the optional fast path next to Detector.Alarms: it
 // reports how many alarms have been raised without copying them. Per-sample
 // consumers (the server's session loop) poll the count and call Alarms()

@@ -55,6 +55,23 @@ func (d *SDS) Observe(s pcm.Sample) {
 	if d.p != nil {
 		d.p.Observe(s)
 	}
+	d.update(s.T)
+}
+
+// ObserveMA feeds one window-level observation into both sub-detectors'
+// post-MA pipelines — the batch-observation entry point of the event-driven
+// cloud simulator. Feed a detector through either Observe or ObserveMA,
+// never both.
+func (d *SDS) ObserveMA(t float64, mA, mM float64) {
+	d.b.ObserveMA(t, mA, mM)
+	if d.p != nil {
+		d.p.ObserveMA(t, mA, mM)
+	}
+	d.update(t)
+}
+
+// update re-evaluates the conjunction alarm state at virtual time t.
+func (d *SDS) update(t float64) {
 	nowAlarmed := d.b.Alarmed()
 	if d.p != nil {
 		nowAlarmed = nowAlarmed && d.p.Alarmed()
@@ -69,7 +86,7 @@ func (d *SDS) Observe(s pcm.Sample) {
 		if d.p != nil {
 			reason += "; confirmed by SDS/P period deviation"
 		}
-		d.alarms = append(d.alarms, Alarm{T: s.T, Detector: d.Name(), Metric: metric, Reason: reason})
+		d.alarms = append(d.alarms, Alarm{T: t, Detector: d.Name(), Metric: metric, Reason: reason})
 	}
 	d.alarmed = nowAlarmed
 }

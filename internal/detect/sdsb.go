@@ -95,6 +95,16 @@ func (d *SDSB) Observe(s pcm.Sample) {
 		return
 	}
 	// Both averagers share the same geometry, so they emit together.
+	d.ObserveMA(s.T, mA, mM)
+}
+
+// ObserveMA feeds one window-level observation — the moving averages M_n of
+// the two counters at virtual time t — directly into the post-MA pipeline
+// (EWMA, boundary check, violation streak). It is the batch-observation
+// entry point of the event-driven cloud simulator, which generates telemetry
+// in closed-form ΔW-sample blocks instead of raw samples. Feed a detector
+// through either Observe or ObserveMA, never both.
+func (d *SDSB) ObserveMA(t float64, mA, mM float64) {
 	eA := d.ewA.Push(mA)
 	eM := d.ewM.Push(mM)
 	d.windows++
@@ -102,7 +112,7 @@ func (d *SDSB) Observe(s pcm.Sample) {
 	if d.windowHook != nil {
 		d.windowHook(WindowStat{
 			Index:      d.windows - 1,
-			T:          s.T,
+			T:          t,
 			MAAccess:   mA,
 			MAMiss:     mM,
 			EWMAAccess: eA,
@@ -121,7 +131,7 @@ func (d *SDSB) Observe(s pcm.Sample) {
 			metric, reason = MetricMiss, violationReason("MissNum", eM, d.loM, d.hiM)
 		}
 		d.alarms = append(d.alarms, Alarm{
-			T:        s.T,
+			T:        t,
 			Detector: d.Name(),
 			Metric:   metric,
 			Reason:   reason,

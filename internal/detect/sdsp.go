@@ -120,6 +120,15 @@ func (d *SDSP) Observe(s pcm.Sample) {
 		// The two averagers share their geometry and emit together.
 		return
 	}
+	d.ObserveMA(s.T, mA, mM)
+}
+
+// ObserveMA feeds one window-level observation — the moving averages M_n of
+// the two counters at virtual time t — directly into the period-estimation
+// rings, bypassing the internal averagers. It is the batch-observation entry
+// point of the event-driven cloud simulator. Feed a detector through either
+// Observe or ObserveMA, never both.
+func (d *SDSP) ObserveMA(t float64, mA, mM float64) {
 	if !d.filled {
 		d.bufA = append(d.bufA, mA)
 		d.bufM = append(d.bufM, mM)
@@ -128,7 +137,7 @@ func (d *SDSP) Observe(s pcm.Sample) {
 		}
 		d.filled = true
 		// First full window: estimate immediately.
-		d.estimate(s.T)
+		d.estimate(t)
 		return
 	}
 	d.bufA[d.pos] = mA
@@ -138,7 +147,7 @@ func (d *SDSP) Observe(s pcm.Sample) {
 	}
 	d.sinceEstimate++
 	if d.sinceEstimate >= d.cfg.DWP {
-		d.estimate(s.T)
+		d.estimate(t)
 	}
 }
 

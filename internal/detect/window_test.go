@@ -1,0 +1,148 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/timeseries"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// These tests pin the ObserveMA window-level batch-observation path: feeding
+// a detector the moving-average series directly must be indistinguishable
+// from feeding the raw samples the averages came from. The event-driven
+// cloud simulator relies on this equivalence when it generates telemetry in
+// closed-form ΔW-sample blocks.
+
+// maEquivalence streams samples into `raw` via Observe and the reference
+// moving-average series into `windowed` via ObserveMA, then compares alarms.
+func maEquivalence(t *testing.T, raw Detector, windowed WindowObserver, samples []pcm.Sample, cfg Config) {
+	t.Helper()
+	maA, err := timeseries.NewMovingAverager(cfg.W, cfg.DW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maM, err := timeseries.NewMovingAverager(cfg.W, cfg.DW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		raw.Observe(s)
+		mA, okA := maA.Push(s.Access)
+		mM, okM := maM.Push(s.Miss)
+		if okA != okM {
+			t.Fatalf("averagers desynchronized at t=%v", s.T)
+		}
+		if okA {
+			windowed.ObserveMA(s.T, mA, mM)
+		}
+	}
+	wd, ok := windowed.(Detector)
+	if !ok {
+		t.Fatalf("window observer %T is not a Detector", windowed)
+	}
+	if got, want := wd.Alarms(), raw.Alarms(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ObserveMA alarms diverge from Observe:\n got %+v\nwant %+v", got, want)
+	}
+	if wd.Alarmed() != raw.Alarmed() {
+		t.Fatalf("final alarm state: ObserveMA %v, Observe %v", wd.Alarmed(), raw.Alarmed())
+	}
+}
+
+func TestSDSBObserveMAEquivalence(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 311)
+	cfg := DefaultConfig()
+	sched := attack.Schedule{Kind: attack.BusLock, Start: 60, Ramp: 10}
+	samples := genSamples(t, workload.KMeans, 312, 180, sched)
+	raw, err := NewSDSB(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewSDSB(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maEquivalence(t, raw, windowed, samples, cfg)
+	if raw.AlarmCount() == 0 {
+		t.Fatal("equivalence vacuous: no alarms raised under attack")
+	}
+}
+
+func TestSDSPObserveMAEquivalence(t *testing.T) {
+	prof := steadyProfile(t, workload.FaceNet, 313)
+	cfg := DefaultConfig()
+	sched := attack.Schedule{Kind: attack.Cleanse, Start: 120, Ramp: 10}
+	samples := genSamples(t, workload.FaceNet, 314, 300, sched)
+	raw, err := NewSDSP(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := NewSDSP(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maEquivalence(t, raw, windowed, samples, cfg)
+}
+
+func TestSDSObserveMAEquivalence(t *testing.T) {
+	for _, app := range []string{workload.KMeans, workload.FaceNet} {
+		prof := steadyProfile(t, app, 315)
+		cfg := DefaultConfig()
+		sched := attack.Schedule{Kind: attack.BusLock, Start: 90, Ramp: 8}
+		samples := genSamples(t, app, 316, 240, sched)
+		raw, err := NewSDS(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windowed, err := NewSDS(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maEquivalence(t, raw, windowed, samples, cfg)
+	}
+}
+
+// TestObserveMAZeroAlloc pins the window-level path at zero steady-state
+// allocations, like the raw Observe path: the cloud simulator calls it once
+// per ΔW block for every monitored VM in the fleet.
+func TestObserveMAZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	build := func(t *testing.T, app string, new func(Profile, Config) (WindowObserver, error)) WindowObserver {
+		t.Helper()
+		prof := steadyProfile(t, app, 317)
+		d, err := new(prof, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		d    WindowObserver
+	}{
+		{"SDSB", build(t, workload.KMeans, func(p Profile, c Config) (WindowObserver, error) { return NewSDSB(p, c) })},
+		{"SDSP", build(t, workload.FaceNet, func(p Profile, c Config) (WindowObserver, error) { return NewSDSP(p, c) })},
+		{"SDS", build(t, workload.FaceNet, func(p Profile, c Config) (WindowObserver, error) { return NewSDS(p, c) })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm with enough windows to fill the SDS/P ring and trigger
+			// estimation rounds, then measure.
+			tick := 0.0
+			next := func() (float64, float64, float64) {
+				tick += float64(cfg.DW) * cfg.TPCM
+				return tick, 1000 + 10*float64(int(tick)%7), 100 + float64(int(tick)%5)
+			}
+			for i := 0; i < 400; i++ {
+				tc.d.ObserveMA(next())
+			}
+			if allocs := testing.AllocsPerRun(400, func() {
+				tc.d.ObserveMA(next())
+			}); allocs != 0 {
+				t.Fatalf("%s.ObserveMA: %.2f allocs/op in steady state, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

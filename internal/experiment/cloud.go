@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/memdos/sds/internal/cloudsim"
+	"github.com/memdos/sds/internal/metrics"
+	"github.com/memdos/sds/internal/randx"
+)
+
+// The cloud-scale grid: the event-driven datacenter engine replaces the
+// single-host lockstep loop, so one cell is an entire cluster run —
+// attacker campaigns, churn and the provider's closed mitigation loop —
+// and the grid compares mitigation policies on matched randomness.
+
+// CloudCell is one (policy, run) cell of a cloud grid.
+type CloudCell struct {
+	// Policy is the mitigation policy this cell ran under.
+	Policy string `json:"policy"`
+	// Run is the repetition index; equal runs share a derived seed across
+	// policies, so policy columns are paired (common random numbers).
+	Run int `json:"run"`
+	// Result is the full scored cluster run.
+	Result cloudsim.Result `json:"result"`
+}
+
+// CloudPolicySummary pools one policy's cells and scores it against the
+// PolicyNone baseline of the same grid.
+type CloudPolicySummary struct {
+	// Policy is the mitigation policy summarized.
+	Policy string `json:"policy"`
+	// Runs is the number of pooled repetitions.
+	Runs int `json:"runs"`
+	// VictimSlowdown is the mean victim slowdown across runs.
+	VictimSlowdown float64 `json:"victim_slowdown"`
+	// SlowdownRecovered is the fraction of the baseline's victim slowdown
+	// this policy eliminated (0 when the grid has no PolicyNone column).
+	SlowdownRecovered float64 `json:"slowdown_recovered"`
+	// ExposureSec is the mean victim attack exposure across runs.
+	ExposureSec float64 `json:"exposure_sec"`
+	// FalseMigrationRate is pooled false migrations over pooled migrations.
+	FalseMigrationRate float64 `json:"false_migration_rate"`
+	// Migrations and Quarantines are pooled counts.
+	Migrations  int `json:"migrations"`
+	Quarantines int `json:"quarantines"`
+	// TimeToQuarantine summarizes the per-run median times to quarantine.
+	TimeToQuarantine metrics.Distribution `json:"time_to_quarantine"`
+}
+
+// CloudGrid runs the base scenario under every policy × run cell on the
+// experiment worker pool. Cells are independently seeded from (Seed, run),
+// so results are bit-identical at any Parallel setting, and the same run
+// index reuses its seed across policies.
+func (c Config) CloudGrid(base cloudsim.Scenario, policies []string) ([]CloudCell, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("experiment: CloudGrid needs at least one policy")
+	}
+	n := len(policies) * c.Runs
+	return parallelMap(c.workers(), n, func(i int) (CloudCell, error) {
+		policy, run := policies[i/c.Runs], i%c.Runs
+		sc := base
+		sc.Seed = randx.Derive(c.Seed, uint64(run)).Uint64()
+		sc.Mitigation.Policy = policy
+		sc.Name = fmt.Sprintf("%s/%s/run%d", base.Name, policy, run)
+		res, err := cloudsim.Run(sc)
+		if err != nil {
+			return CloudCell{}, fmt.Errorf("cloud cell %s: %w", sc.Name, err)
+		}
+		return CloudCell{Policy: policy, Run: run, Result: res}, nil
+	})
+}
+
+// SummarizeCloud pools grid cells per policy, in first-seen policy order.
+// The PolicyNone column, when present, is the slowdown-recovery baseline.
+func SummarizeCloud(cells []CloudCell) []CloudPolicySummary {
+	var order []string
+	groups := make(map[string][]CloudCell)
+	for _, cell := range cells {
+		if _, ok := groups[cell.Policy]; !ok {
+			order = append(order, cell.Policy)
+		}
+		groups[cell.Policy] = append(groups[cell.Policy], cell)
+	}
+
+	baseline := 0.0
+	if none := groups[cloudsim.PolicyNone]; len(none) > 0 {
+		for _, cell := range none {
+			baseline += cell.Result.VictimSlowdown
+		}
+		baseline /= float64(len(none))
+	}
+
+	out := make([]CloudPolicySummary, 0, len(order))
+	for _, policy := range order {
+		cells := groups[policy]
+		s := CloudPolicySummary{Policy: policy, Runs: len(cells)}
+		falseMigs := 0
+		var ttqMedians []float64
+		for _, cell := range cells {
+			r := cell.Result
+			s.VictimSlowdown += r.VictimSlowdown
+			s.ExposureSec += r.VictimExposureSec
+			s.Migrations += r.Migrations
+			s.Quarantines += r.QuarantineCount
+			falseMigs += r.FalseMigrations
+			if r.TimeToQuarantine.N > 0 {
+				ttqMedians = append(ttqMedians, r.TimeToQuarantine.Median)
+			}
+		}
+		s.VictimSlowdown /= float64(len(cells))
+		s.ExposureSec /= float64(len(cells))
+		if s.Migrations > 0 {
+			s.FalseMigrationRate = float64(falseMigs) / float64(s.Migrations)
+		}
+		if baseline > 0 {
+			s.SlowdownRecovered = 1 - s.VictimSlowdown/baseline
+		}
+		s.TimeToQuarantine = metrics.Summarize(ttqMedians)
+		out = append(out, s)
+	}
+	return out
+}

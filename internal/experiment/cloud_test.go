@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/memdos/sds/internal/cloudsim"
+	"github.com/memdos/sds/internal/workload"
+)
+
+func cloudBase() cloudsim.Scenario {
+	return cloudsim.Scenario{
+		Name:           "grid",
+		Hosts:          4,
+		VMsPerHost:     3,
+		Seconds:        450,
+		Apps:           []string{workload.KMeans, workload.FaceNet},
+		ProfileSeconds: 400,
+		Attackers:      1,
+		AttackKind:     cloudsim.AttackBusLock,
+		AttackStart:    60,
+		RelocateMean:   80,
+	}
+}
+
+// TestCloudGridParallelDeterminism pins the engine-pool contract for cloud
+// cells: the grid is byte-identical at any worker count.
+func TestCloudGridParallelDeterminism(t *testing.T) {
+	policies := []string{cloudsim.PolicyNone, cloudsim.PolicyThrottleMigrate}
+	cfg := DefaultConfig()
+	cfg.Runs = 3
+	cfg.Parallel = 1
+	serial, err := cfg.CloudGrid(cloudBase(), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	pooled, err := cfg.CloudGrid(cloudBase(), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cloud grid differs across worker counts:\n serial %s\n pooled %s", a, b)
+	}
+}
+
+// TestSummarizeCloudScoresPolicies checks the policy comparison: the
+// mitigating policy must recover a positive share of the baseline's victim
+// slowdown and actually quarantine attackers.
+func TestSummarizeCloudScoresPolicies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Runs = 3
+	cells, err := cfg.CloudGrid(cloudBase(), []string{cloudsim.PolicyNone, cloudsim.PolicyMigrate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := SummarizeCloud(cells)
+	if len(summaries) != 2 || summaries[0].Policy != cloudsim.PolicyNone || summaries[1].Policy != cloudsim.PolicyMigrate {
+		t.Fatalf("unexpected summary layout: %+v", summaries)
+	}
+	none, mig := summaries[0], summaries[1]
+	if none.Runs != 3 || mig.Runs != 3 {
+		t.Fatalf("run counts wrong: %+v", summaries)
+	}
+	if none.Migrations != 0 || none.SlowdownRecovered != 0 {
+		t.Fatalf("baseline must not migrate or recover: %+v", none)
+	}
+	if mig.Quarantines == 0 || mig.TimeToQuarantine.N == 0 {
+		t.Fatalf("mitigating policy never quarantined: %+v", mig)
+	}
+	if mig.SlowdownRecovered <= 0 || mig.SlowdownRecovered > 1 {
+		t.Fatalf("slowdown recovery out of range: %+v", mig)
+	}
+	if mig.ExposureSec >= none.ExposureSec {
+		t.Fatalf("mitigation did not reduce exposure: %+v vs %+v", mig, none)
+	}
+	if mig.FalseMigrationRate < 0 || mig.FalseMigrationRate > 1 {
+		t.Fatalf("false-migration rate out of range: %+v", mig)
+	}
+}
+
+func TestCloudGridRejectsEmptyPolicies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Runs = 1
+	if _, err := cfg.CloudGrid(cloudBase(), nil); err == nil {
+		t.Fatal("empty policy list accepted")
+	}
+}

@@ -64,16 +64,30 @@ func (v *VM) Granted() uint64 { return v.granted }
 // Demanded returns the cumulative number of LLC accesses the VM requested.
 func (v *VM) Demanded() uint64 { return v.demanded }
 
+// Arbiter is the bus-allocation contract the machine schedules against.
+// *membus.Bus satisfies it; tests may substitute arbiters with different
+// grant orderings — Tick pairs grants to demands by Owner, never by
+// position, so any permutation of the returned grants is acceptable.
+type Arbiter interface {
+	Allocate(dt float64, demands []membus.Demand) ([]membus.Grant, error)
+}
+
 // Machine is the simulated physical server.
 type Machine struct {
 	cache *cachesim.Cache
-	bus   *membus.Bus
+	bus   Arbiter
 	vms   []*VM
 	now   float64
+
+	// demandScratch is reused across ticks so the steady-state Tick path
+	// does not allocate; demandOwner[id] indexes the tick's demand for VM
+	// id (-1 when the VM was paused and demanded nothing).
+	demandScratch []membus.Demand
+	demandOwner   []int
 }
 
 // NewMachine assembles a server from its shared hardware resources.
-func NewMachine(cache *cachesim.Cache, bus *membus.Bus) (*Machine, error) {
+func NewMachine(cache *cachesim.Cache, bus Arbiter) (*Machine, error) {
 	if cache == nil || bus == nil {
 		return nil, fmt.Errorf("vmm: machine requires a cache and a bus")
 	}
@@ -101,8 +115,8 @@ func (m *Machine) VMs() []*VM {
 // Cache returns the machine's shared LLC.
 func (m *Machine) Cache() *cachesim.Cache { return m.cache }
 
-// Bus returns the machine's shared memory bus.
-func (m *Machine) Bus() *membus.Bus { return m.bus }
+// Bus returns the machine's shared memory bus arbiter.
+func (m *Machine) Bus() Arbiter { return m.bus }
 
 // Now returns the current virtual time in seconds.
 func (m *Machine) Now() float64 { return m.now }
@@ -153,7 +167,13 @@ func (m *Machine) Tick(dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("vmm: tick duration must be positive, got %v", dt)
 	}
-	demands := make([]membus.Demand, 0, len(m.vms))
+	demands := m.demandScratch[:0]
+	if m.demandOwner == nil || len(m.demandOwner) < len(m.vms) {
+		m.demandOwner = make([]int, len(m.vms))
+	}
+	for _, vm := range m.vms {
+		m.demandOwner[vm.id] = -1
+	}
 	for _, vm := range m.vms {
 		if vm.paused {
 			continue
@@ -162,16 +182,29 @@ func (m *Machine) Tick(dt float64) error {
 		if accesses < 0 {
 			return fmt.Errorf("vmm: workload %q returned negative demand %d", vm.workload.Name(), accesses)
 		}
+		m.demandOwner[vm.id] = len(demands)
+		vm.demanded += uint64(accesses)
 		demands = append(demands, membus.Demand{Owner: vm.id, Accesses: accesses, LockFraction: lock})
 	}
+	m.demandScratch = demands
 	grants, err := m.bus.Allocate(dt, demands)
 	if err != nil {
 		return fmt.Errorf("vmm: bus allocation: %w", err)
 	}
-	for i, g := range grants {
+	for _, g := range grants {
+		if g.Owner < 0 || g.Owner >= len(m.vms) {
+			return fmt.Errorf("vmm: bus granted to unknown owner %d", g.Owner)
+		}
+		di := m.demandOwner[g.Owner]
+		switch {
+		case di == -1:
+			return fmt.Errorf("vmm: bus granted to owner %d which demanded nothing this tick", g.Owner)
+		case di == -2:
+			return fmt.Errorf("vmm: bus granted twice to owner %d in one tick", g.Owner)
+		}
+		m.demandOwner[g.Owner] = -2
 		vm := m.vms[g.Owner]
-		d := demands[i]
-		vm.demanded += uint64(d.Accesses)
+		d := demands[di]
 		vm.granted += uint64(g.Accesses)
 		vm.workload.Issue(g.Accesses, m.cache, cachesim.Owner(vm.id))
 		// Progress at the fraction of demanded memory work that actually
@@ -188,12 +221,16 @@ func (m *Machine) Tick(dt float64) error {
 
 // Run advances the machine until virtual time reaches deadline, in steps of
 // dt seconds (the final step count is rounded, so floating-point drift never
-// adds a spurious extra tick).
+// adds a spurious extra tick). A deadline earlier than the machine's current
+// virtual time is an error, not a silent no-op.
 func (m *Machine) Run(deadline, dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("vmm: run step must be positive, got %v", dt)
 	}
 	ticks := int(math.Round((deadline - m.now) / dt))
+	if ticks < 0 {
+		return fmt.Errorf("vmm: run deadline %v is before current virtual time %v", deadline, m.now)
+	}
 	for i := 0; i < ticks; i++ {
 		if err := m.Tick(dt); err != nil {
 			return err

@@ -245,3 +245,187 @@ func TestSchedulerConservationProperty(t *testing.T) {
 		}
 	}
 }
+
+// reversingBus delegates allocation to a real membus.Bus but returns the
+// grants in reverse order — a legal Arbiter implementation that breaks any
+// positional pairing of grants to demands.
+type reversingBus struct{ inner *membus.Bus }
+
+func (r reversingBus) Allocate(dt float64, demands []membus.Demand) ([]membus.Grant, error) {
+	grants, err := r.inner.Allocate(dt, demands)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(grants)-1; i < j; i, j = i+1, j-1 {
+		grants[i], grants[j] = grants[j], grants[i]
+	}
+	return grants, nil
+}
+
+// TestTickPairsGrantsByOwner runs the same two-VM contention scenario on a
+// plain bus and on a grant-reversing bus: per-VM accounting must be
+// identical, because Tick pairs grants to demands by Owner, not by index.
+func TestTickPairsGrantsByOwner(t *testing.T) {
+	build := func(reorder bool) ([]*VM, *Machine) {
+		cache, err := cachesim.New(cachesim.Config{SizeBytes: 256 * 1024, LineSize: 64, Ways: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus, err := membus.New(5e4, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var arb Arbiter = bus
+		if reorder {
+			arb = reversingBus{inner: bus}
+		}
+		m, err := NewMachine(cache, arb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Asymmetric demands so a positional mix-up misattributes work.
+		specs := []*fixedWorkload{
+			{name: "heavy", perSec: 8e4, base: 0},
+			{name: "light", perSec: 1e4, base: 1 << 20},
+			{name: "locker", perSec: 2e4, lock: 0.5, base: 2 << 20},
+		}
+		vms := make([]*VM, len(specs))
+		for i, w := range specs {
+			vm, err := m.AddVM(w.name, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vms[i] = vm
+		}
+		return vms, m
+	}
+
+	plainVMs, plain := build(false)
+	reordVMs, reord := build(true)
+	for step := 0; step < 200; step++ {
+		if err := plain.Tick(0.01); err != nil {
+			t.Fatal(err)
+		}
+		if err := reord.Tick(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range plainVMs {
+		p, r := plainVMs[i], reordVMs[i]
+		if p.Demanded() != r.Demanded() || p.Granted() != r.Granted() {
+			t.Errorf("vm %d (%s): demanded/granted %d/%d with plain bus, %d/%d with reordering bus",
+				i, p.Name(), p.Demanded(), p.Granted(), r.Demanded(), r.Granted())
+		}
+		if math.Abs(p.Progress()-r.Progress()) > 1e-12 {
+			t.Errorf("vm %d (%s): progress %v with plain bus, %v with reordering bus",
+				i, p.Name(), p.Progress(), r.Progress())
+		}
+	}
+}
+
+// echoBus grants every demand in full from a reused slice, so it contributes
+// zero allocations itself — isolating Tick's own allocation behaviour.
+type echoBus struct{ grants []membus.Grant }
+
+func (e *echoBus) Allocate(dt float64, demands []membus.Demand) ([]membus.Grant, error) {
+	e.grants = e.grants[:0]
+	for _, d := range demands {
+		e.grants = append(e.grants, membus.Grant{Owner: d.Owner, Accesses: d.Accesses})
+	}
+	return e.grants, nil
+}
+
+// TestTickZeroAlloc pins the steady-state Tick path at zero allocations:
+// the demands slice is machine-owned scratch, not a per-tick allocation.
+func TestTickZeroAlloc(t *testing.T) {
+	cache, err := cachesim.New(cachesim.Config{SizeBytes: 256 * 1024, LineSize: 64, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(cache, &echoBus{grants: make([]membus.Grant, 0, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.AddVM("vm", &fixedWorkload{name: "w", perSec: 1000, base: uint64(i) << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ { // warm the scratch buffers
+		if err := m.Tick(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Tick(0.01); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Tick: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// badBus returns grants for owners that never demanded, or duplicates.
+type badBus struct{ mode string }
+
+func (b badBus) Allocate(dt float64, demands []membus.Demand) ([]membus.Grant, error) {
+	switch b.mode {
+	case "unknown":
+		return []membus.Grant{{Owner: 99, Accesses: 1}}, nil
+	case "duplicate":
+		if len(demands) == 0 {
+			return nil, nil
+		}
+		g := membus.Grant{Owner: demands[0].Owner, Accesses: 1}
+		return []membus.Grant{g, g}, nil
+	case "paused":
+		return []membus.Grant{{Owner: 1, Accesses: 1}}, nil
+	}
+	return nil, nil
+}
+
+func TestTickRejectsBogusGrants(t *testing.T) {
+	for _, mode := range []string{"unknown", "duplicate", "paused"} {
+		cache, err := cachesim.New(cachesim.Config{SizeBytes: 256 * 1024, LineSize: 64, Ways: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(cache, badBus{mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := m.AddVM("vm", &fixedWorkload{name: "w", perSec: 1000}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if mode == "paused" {
+			if err := m.Pause(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Tick(0.01); err == nil {
+			t.Errorf("mode %q: bogus grant accepted", mode)
+		}
+	}
+}
+
+// TestRunRejectsPastDeadline covers the silent-no-op bug: a deadline
+// earlier than the machine's current virtual time used to round to a
+// negative tick count and return nil without advancing anything.
+func TestRunRejectsPastDeadline(t *testing.T) {
+	m := newMachine(t, 1e6)
+	if _, err := m.AddVM("vm", &fixedWorkload{name: "w", perSec: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1.0, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0.5, 0.01); err == nil {
+		t.Error("deadline before current time accepted as a silent no-op")
+	}
+	// An equal deadline is a legitimate no-op, not an error.
+	if err := m.Run(1.0, 0.01); err != nil {
+		t.Errorf("deadline equal to current time rejected: %v", err)
+	}
+}

