@@ -1,0 +1,31 @@
+package cloudsim
+
+import "testing"
+
+// Probe: every long-lived victim should accrue elapsed ≈ Seconds (elapsed
+// accrues even while paused). If migration can land a VM on a host already
+// advanced past the event tick, victimElapsed will undercount.
+func TestProbeVictimElapsed(t *testing.T) {
+	for _, pol := range []string{PolicyNone, PolicyMigrate, PolicyThrottleMigrate} {
+		sc := mitigationScenario(pol)
+		e, err := newEngine(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv := float64(len(e.victims))
+		want := nv * 600
+		t.Logf("policy=%s victims=%v victimElapsed=%.1f want=%.1f migrations=%d recoveries=%d realarms=%d",
+			pol, nv, e.victimElapsed, want, res.Migrations, res.Recoveries, res.ReAlarms)
+		for _, h := range e.hosts {
+			t.Logf("  host %d tick=%d (%.1fs)", h.id, h.tick, float64(h.tick)*e.tpcm)
+		}
+		for _, id := range e.victims {
+			v := e.vms[id]
+			t.Logf("  victim vm%d host=%d elapsed=%.1f migrations=%d", v.id, v.host, v.elapsed, v.migrations)
+		}
+	}
+}
