@@ -26,29 +26,41 @@ race:
 # with the default time budget for stable ns/op. When a scale run has left
 # bench_scale.txt behind (make bench-scale), its sustained-throughput lines
 # are merged into the same trajectory.
-BENCH_PR ?= 7
+BENCH_PR ?= 8
 BENCH_FIGURES := Table1Defaults|Fig|Sec32FalseAlarmRates|Ablation
 BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve
+# The ns-gated microbenchmarks record -count=3; benchjson keeps the
+# fastest run of each (shared-host interference is one-sided, so the
+# minimum is the low-noise estimator the gate should compare).
 bench:
 	$(GO) test -run=NONE -bench='$(BENCH_FIGURES)' -benchmem -benchtime=10x . | tee bench_output.txt
-	$(GO) test -run=NONE -bench='$(BENCH_MICRO)' -benchmem . | tee -a bench_output.txt
-	$(GO) test -run=NONE -bench=. -benchmem ./internal/feed ./internal/detect ./internal/server | tee -a bench_output.txt
-	$(GO) test -run=NONE -bench='BenchmarkCloud' -benchmem -benchtime=1x ./internal/cloudsim | tee -a bench_output.txt
-	$(GO) test -run=NONE -bench='BlockModelStep' -benchmem ./internal/cloudsim | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench='$(BENCH_MICRO)' -benchmem -count=3 . | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench=. -benchmem -count=3 ./internal/feed ./internal/detect ./internal/server | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench='BenchmarkCloud' -benchmem -benchtime=1x -count=3 ./internal/cloudsim | tee -a bench_output.txt
+	$(GO) test -run=NONE -bench='BlockModelStep' -benchmem -count=3 ./internal/cloudsim | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_PR$(BENCH_PR).json bench_output.txt $(wildcard bench_scale.txt)
 
-# The 10k-stream ingest scale run (binary + CSV baseline); appends its
-# sustained samples/sec to bench_scale.txt for `make bench` to pick up.
+# The ingest scale runs: the 10k-stream throughput passes (binary + CSV
+# baseline) and the 100k-stream correctness run (bounded-inflight, 2 load
+# processes, alarm parity against a single-process reference); appends the
+# sustained samples/sec lines to bench_scale.txt for `make bench`.
 bench-scale:
 	./scripts/scale_sdsload.sh
 
 # Gate the newest trajectory against the previous one: any allocs/op
-# increase, or >10% ns/op regression on the tracked hot paths, fails.
+# increase, >10% ns/op regression on the tracked hot paths, or >10%
+# samples/sec drop on the recorded scale runs, fails. When the only
+# violations are wall-clock ones, scripts/bench_ab.sh gets the final say:
+# it re-benchmarks the flagged names under the baseline commit's code and
+# the working tree interleaved on the current machine, so cross-session
+# machine drift (which moves non-uniformly across benchmark classes) can
+# be told apart from a genuine code regression.
 bench-check:
 	@set -- $$(ls BENCH_PR*.json 2>/dev/null | sort -V); \
 	if [ $$# -lt 2 ]; then echo "bench-check: fewer than two trajectories, nothing to gate"; exit 0; fi; \
 	while [ $$# -gt 2 ]; do shift; done; \
-	$(GO) run ./cmd/benchdiff -old "$$1" -new "$$2"
+	$(GO) run ./cmd/benchdiff -old "$$1" -new "$$2" -fail-list bench_fails.txt \
+		|| ./scripts/bench_ab.sh "$$1" bench_fails.txt
 
 # Benchmark everything (slower; no JSON emission).
 bench-all:

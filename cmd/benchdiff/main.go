@@ -5,10 +5,15 @@
 //
 //	benchdiff -old BENCH_PR3.json -new BENCH_PR6.json
 //
-// Two gates apply to every benchmark present in both files:
+// Three gates apply to every benchmark present in both files:
 //
-//   - allocs/op may never increase. Allocation counts are deterministic per
-//     build, so this gate is machine-independent and has no tolerance.
+//   - allocs/op may not increase beyond -alloc-tol (default 0.01%).
+//     Allocation counts are deterministic per build on the steady-state hot
+//     paths, where the tolerance rounds to zero extra allocations — any
+//     increase still fails exactly. The tolerance exists for the
+//     whole-datacenter sims, which allocate hundreds of thousands of
+//     objects per op and jitter by a handful through scheduler-dependent
+//     map growth.
 //   - ns/op may not regress by more than -ns-tol (default 10%). Wall-clock
 //     measurements are noisy across machines and noisy neighbors, so the
 //     gate is restricted to the benchmarks matching -ns-match — by default
@@ -17,10 +22,33 @@
 //     measured over at least -ns-min-iters iterations (early trajectories
 //     recorded microbenchmarks at -benchtime=10x; ten iterations of a 30 ns
 //     operation is noise, not a baseline).
+//   - samples/sec — the sdsload scale-run throughput unit — may not drop by
+//     more than -rate-tol (default 10%). The gate applies only when both
+//     trajectories record the unit, so baselines that predate it are exempt.
+//
+// Wall-clock gates are drift-normalized: trajectories are recorded in
+// different sessions on a shared cloud host whose effective speed moves
+// between recordings (hypervisor scheduling, frequency changes — invisible
+// to the guest and uniform across the suite). benchdiff estimates that
+// machine drift as the median ns/op ratio across all stable benchmark pairs
+// and divides it out of the ns and samples/sec comparisons, so a 25% slower
+// box does not read as twenty spurious regressions — while a genuine
+// hot-path regression still stands out against the suite median. The
+// correction needs at least -drift-min stable pairs (default 8; below that
+// the median is dominated by the very paths being gated) and is reported
+// whenever it is applied. Allocation counts are deterministic and are never
+// normalized.
 //
 // Benchmarks that appear in only one trajectory are reported but do not
 // fail the gate (suites grow and get renamed); the comparison count is
 // printed so an accidentally empty intersection is visible.
+//
+// -fail-list FILE writes one "kind name" line per violation (kind is
+// alloc, ns or rate). The bench-check make target uses it to decide
+// whether a failure is eligible for the same-machine A/B recheck
+// (scripts/bench_ab.sh): wall-clock violations can be re-measured against
+// the baseline commit on the current machine, allocation violations
+// cannot be excused by any amount of re-measurement.
 package main
 
 import (
@@ -30,6 +58,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // defaultNSMatch selects the hot-path benchmarks whose wall-clock time is
@@ -42,10 +71,21 @@ const defaultNSMatch = `Observe|FFT|ACF|PeriodEstimat|ServerIngest|ReadFrame|Rea
 
 // Result mirrors benchjson's recorded measurement.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Iterations  int64   `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	Iterations    int64   `json:"iterations"`
+}
+
+// gates bundles the thresholds diff applies.
+type gates struct {
+	nsTol      float64
+	nsMinIters int64
+	rateTol    float64
+	allocTol   float64
+	driftMin   int
+	nsGated    *regexp.Regexp
 }
 
 func main() {
@@ -54,6 +94,10 @@ func main() {
 	nsTol := flag.Float64("ns-tol", 0.10, "allowed fractional ns/op regression")
 	nsMatch := flag.String("ns-match", defaultNSMatch, "regexp of benchmarks whose ns/op is gated")
 	nsMinIters := flag.Int64("ns-min-iters", 50, "baseline iterations below which ns/op is not gated")
+	rateTol := flag.Float64("rate-tol", 0.10, "allowed fractional samples/sec throughput drop")
+	allocTol := flag.Float64("alloc-tol", 1e-4, "allowed fractional allocs/op increase (rounds to zero extra allocations below ~10k allocs/op)")
+	driftMin := flag.Int("drift-min", 8, "stable benchmark pairs required before machine-drift normalization kicks in")
+	failList := flag.String("fail-list", "", "write one 'kind name' line per violation to this file")
 	flag.Parse()
 
 	if *oldPath == "" || *newPath == "" {
@@ -76,9 +120,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	compared, violations := diff(oldRes, newRes, *nsTol, *nsMinIters, re)
+	compared, drift, violations := diff(oldRes, newRes, gates{
+		nsTol:      *nsTol,
+		nsMinIters: *nsMinIters,
+		rateTol:    *rateTol,
+		allocTol:   *allocTol,
+		driftMin:   *driftMin,
+		nsGated:    re,
+	})
+	if drift != 1 {
+		fmt.Printf("benchdiff: machine drift x%.3f (suite-median ns ratio) divided out of wall-clock gates\n", drift)
+	}
 	for _, v := range violations {
-		fmt.Println("FAIL:", v)
+		fmt.Println("FAIL:", v.msg)
+	}
+	if *failList != "" {
+		var list strings.Builder
+		for _, v := range violations {
+			fmt.Fprintf(&list, "%s %s\n", v.kind, v.name)
+		}
+		if err := os.WriteFile(*failList, []byte(list.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
 	}
 	fmt.Printf("benchdiff: %d benchmarks compared (%s -> %s), %d regressions\n",
 		compared, *oldPath, *newPath, len(violations))
@@ -103,9 +167,19 @@ func load(path string) (map[string]Result, error) {
 	return res, nil
 }
 
-// diff applies both gates to the benchmarks common to old and new, returning
-// how many were compared and one message per violation, in name order.
-func diff(oldRes, newRes map[string]Result, nsTol float64, nsMinIters int64, nsGated *regexp.Regexp) (int, []string) {
+// violation is one gate failure: which gate tripped (alloc, ns or rate),
+// on which benchmark, and the human-readable message.
+type violation struct {
+	kind string
+	name string
+	msg  string
+}
+
+// diff applies the gates to the benchmarks common to old and new, returning
+// how many were compared, the machine-drift factor divided out of the
+// wall-clock gates (1 when no correction applied), and one violation per
+// gate failure, in name order.
+func diff(oldRes, newRes map[string]Result, g gates) (int, float64, []violation) {
 	names := make([]string, 0, len(oldRes))
 	for name := range oldRes {
 		if _, ok := newRes[name]; ok {
@@ -114,20 +188,56 @@ func diff(oldRes, newRes map[string]Result, nsTol float64, nsMinIters int64, nsG
 	}
 	sort.Strings(names)
 
-	var violations []string
+	drift := machineDrift(oldRes, newRes, names, g.nsMinIters, g.driftMin)
+
+	var violations []violation
 	for _, name := range names {
 		o, n := oldRes[name], newRes[name]
-		if n.AllocsPerOp > o.AllocsPerOp {
-			violations = append(violations, fmt.Sprintf(
-				"%s: allocs/op %g -> %g (allocations may never increase)",
-				name, o.AllocsPerOp, n.AllocsPerOp))
+		if n.AllocsPerOp > o.AllocsPerOp*(1+g.allocTol) {
+			violations = append(violations, violation{"alloc", name, fmt.Sprintf(
+				"%s: allocs/op %g -> %g (allocations may not increase)",
+				name, o.AllocsPerOp, n.AllocsPerOp)})
 		}
-		if nsGated.MatchString(name) && o.Iterations >= nsMinIters &&
-			o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+nsTol) {
-			violations = append(violations, fmt.Sprintf(
-				"%s: ns/op %.1f -> %.1f (+%.1f%%, tolerance %.0f%%)",
-				name, o.NsPerOp, n.NsPerOp, (n.NsPerOp/o.NsPerOp-1)*100, nsTol*100))
+		if g.nsGated.MatchString(name) && o.Iterations >= g.nsMinIters &&
+			o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+g.nsTol)*drift {
+			violations = append(violations, violation{"ns", name, fmt.Sprintf(
+				"%s: ns/op %.1f -> %.1f (+%.1f%% drift-adjusted, tolerance %.0f%%)",
+				name, o.NsPerOp, n.NsPerOp, (n.NsPerOp/(o.NsPerOp*drift)-1)*100, g.nsTol*100)})
+		}
+		// Throughput gate: a scale run's samples/sec may not drop past
+		// -rate-tol. Gated only when the baseline recorded the unit, so a
+		// trajectory that predates the unit (or a microbenchmark) is exempt.
+		if o.SamplesPerSec > 0 && n.SamplesPerSec > 0 &&
+			n.SamplesPerSec*drift < o.SamplesPerSec*(1-g.rateTol) {
+			violations = append(violations, violation{"rate", name, fmt.Sprintf(
+				"%s: samples/sec %.0f -> %.0f (%.1f%% drift-adjusted, tolerance -%.0f%%)",
+				name, o.SamplesPerSec, n.SamplesPerSec, (n.SamplesPerSec*drift/o.SamplesPerSec-1)*100, g.rateTol*100)})
 		}
 	}
-	return len(names), violations
+	return len(names), drift, violations
+}
+
+// machineDrift estimates how much faster or slower the recording machine ran
+// for the new trajectory as the median new/old ns ratio over every stable
+// benchmark pair — stable meaning both sides measured ns and the baseline
+// cleared the iteration floor. The median is robust to a handful of genuine
+// regressions or improvements in the suite; with fewer than driftMin pairs
+// that robustness is gone (the gated paths would dominate their own
+// correction), so no normalization is applied and 1 is returned.
+func machineDrift(oldRes, newRes map[string]Result, names []string, nsMinIters int64, driftMin int) float64 {
+	var ratios []float64
+	for _, name := range names {
+		o, n := oldRes[name], newRes[name]
+		if o.NsPerOp > 0 && n.NsPerOp > 0 && o.Iterations >= nsMinIters {
+			ratios = append(ratios, n.NsPerOp/o.NsPerOp)
+		}
+	}
+	if len(ratios) < driftMin || driftMin <= 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	if len(ratios)%2 == 1 {
+		return ratios[len(ratios)/2]
+	}
+	return (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
 }

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"fmt"
 	"regexp"
 	"strings"
 	"testing"
 )
 
 var gate = regexp.MustCompile(defaultNSMatch)
+
+// testGates returns the default thresholds main wires up from flags.
+func testGates() gates {
+	return gates{nsTol: 0.10, nsMinIters: 50, rateTol: 0.10, allocTol: 1e-4, driftMin: 8, nsGated: gate}
+}
 
 // TestDiffGates: the two gate rules — any allocs/op increase fails, ns/op
 // regressions fail only past the tolerance and only on gated names.
@@ -27,7 +33,7 @@ func TestDiffGates(t *testing.T) {
 			"BenchmarkSessionObserveBatch": {NsPerOp: 21000, AllocsPerOp: 0, Iterations: 1000},
 			"BenchmarkBrandNew":            {NsPerOp: 1, AllocsPerOp: 99, Iterations: 1000},
 		}
-		compared, violations := diff(oldRes, newRes, 0.10, 50, gate)
+		compared, _, violations := diff(oldRes, newRes, testGates())
 		if compared != 4 {
 			t.Errorf("compared %d benchmarks, want the 4 common ones", compared)
 		}
@@ -40,8 +46,8 @@ func TestDiffGates(t *testing.T) {
 		newRes := map[string]Result{
 			"BenchmarkSDSObserve": {NsPerOp: 150, AllocsPerOp: 0, Iterations: 1000},
 		}
-		_, violations := diff(oldRes, newRes, 0.10, 50, gate)
-		if len(violations) != 1 || !strings.Contains(violations[0], "ns/op") {
+		_, _, violations := diff(oldRes, newRes, testGates())
+		if len(violations) != 1 || !strings.Contains(violations[0].msg, "ns/op") {
 			t.Errorf("+50%% on a gated hot path not flagged: %v", violations)
 		}
 	})
@@ -52,7 +58,7 @@ func TestDiffGates(t *testing.T) {
 		newRes := map[string]Result{
 			"BenchmarkFig9Recall": {NsPerOp: 9e9, AllocsPerOp: 1000, Iterations: 1000},
 		}
-		if _, violations := diff(oldRes, newRes, 0.10, 50, gate); len(violations) != 0 {
+		if _, _, violations := diff(oldRes, newRes, testGates()); len(violations) != 0 {
 			t.Errorf("ungated benchmark's ns/op flagged: %v", violations)
 		}
 	})
@@ -66,12 +72,31 @@ func TestDiffGates(t *testing.T) {
 		newRes := map[string]Result{
 			"BenchmarkSDSObserve": {NsPerOp: 70, AllocsPerOp: 0, Iterations: 1000000},
 		}
-		if _, violations := diff(old, newRes, 0.10, 50, gate); len(violations) != 0 {
+		if _, _, violations := diff(old, newRes, testGates()); len(violations) != 0 {
 			t.Errorf("10-iteration baseline anchored an ns gate: %v", violations)
 		}
 		newRes["BenchmarkSDSObserve"] = Result{NsPerOp: 70, AllocsPerOp: 1, Iterations: 1000000}
-		if _, violations := diff(old, newRes, 0.10, 50, gate); len(violations) != 1 {
+		if _, _, violations := diff(old, newRes, testGates()); len(violations) != 1 {
 			t.Errorf("alloc gate must still apply to noise baselines: %v", violations)
+		}
+	})
+
+	t.Run("alloc jitter inside tolerance passes only at sim scale", func(t *testing.T) {
+		// -alloc-tol (0.01%) absorbs scheduler-dependent jitter in the
+		// whole-datacenter sims (~634k allocs/op) but rounds to zero extra
+		// allocations on every hot path, which still fails exactly.
+		old := map[string]Result{
+			"BenchmarkCloud1000x8x900Window": {NsPerOp: 1e10, AllocsPerOp: 634218, Iterations: 3},
+		}
+		newRes := map[string]Result{
+			"BenchmarkCloud1000x8x900Window": {NsPerOp: 1e10, AllocsPerOp: 634220, Iterations: 3},
+		}
+		if _, _, violations := diff(old, newRes, testGates()); len(violations) != 0 {
+			t.Errorf("+2 allocs on a 634k-alloc sim flagged: %v", violations)
+		}
+		newRes["BenchmarkCloud1000x8x900Window"] = Result{NsPerOp: 1e10, AllocsPerOp: 634300, Iterations: 3}
+		if _, _, violations := diff(old, newRes, testGates()); len(violations) != 1 {
+			t.Errorf("+82 allocs (past tolerance) not flagged: %v", violations)
 		}
 	})
 
@@ -80,14 +105,76 @@ func TestDiffGates(t *testing.T) {
 			"BenchmarkFig9Recall":          {NsPerOp: 1e9, AllocsPerOp: 1001, Iterations: 1000},
 			"BenchmarkSessionObserveBatch": {NsPerOp: 20000, AllocsPerOp: 1, Iterations: 1000},
 		}
-		_, violations := diff(oldRes, newRes, 0.10, 50, gate)
+		_, _, violations := diff(oldRes, newRes, testGates())
 		if len(violations) != 2 {
 			t.Fatalf("want 2 alloc violations, got %v", violations)
 		}
 		for _, v := range violations {
-			if !strings.Contains(v, "allocs/op") {
+			if !strings.Contains(v.msg, "allocs/op") {
 				t.Errorf("violation %q is not the alloc gate", v)
 			}
+		}
+	})
+}
+
+// TestDiffRateGate: samples/sec (the sdsload scale-run unit) may not drop
+// past -rate-tol, but only when the baseline recorded the unit — older
+// trajectories without it must not trip the gate.
+func TestDiffRateGate(t *testing.T) {
+	oldRes := map[string]Result{
+		"BenchmarkServerIngestBin10kVMs": {SamplesPerSec: 10e6, Iterations: 1},
+	}
+
+	t.Run("drop past tolerance fails", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {SamplesPerSec: 8.5e6, Iterations: 1}, // -15%
+		}
+		_, _, violations := diff(oldRes, newRes, testGates())
+		if len(violations) != 1 || !strings.Contains(violations[0].msg, "samples/sec") {
+			t.Fatalf("want one samples/sec violation, got %v", violations)
+		}
+	})
+
+	t.Run("drop inside tolerance passes", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {SamplesPerSec: 9.5e6, Iterations: 1}, // -5%
+		}
+		if _, _, violations := diff(oldRes, newRes, testGates()); len(violations) != 0 {
+			t.Errorf("within-tolerance throughput drop flagged: %v", violations)
+		}
+	})
+
+	t.Run("improvement passes", func(t *testing.T) {
+		newRes := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {SamplesPerSec: 20e6, Iterations: 1},
+		}
+		if _, _, violations := diff(oldRes, newRes, testGates()); len(violations) != 0 {
+			t.Errorf("throughput improvement flagged: %v", violations)
+		}
+	})
+
+	t.Run("baseline without rate is exempt", func(t *testing.T) {
+		// A trajectory recorded before the unit existed (ns/op only) must
+		// not anchor the rate gate, whatever the candidate records.
+		old := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {NsPerOp: 151, Iterations: 1000},
+		}
+		newRes := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {NsPerOp: 151, SamplesPerSec: 1, Iterations: 1000},
+		}
+		if _, _, violations := diff(old, newRes, testGates()); len(violations) != 0 {
+			t.Errorf("missing-baseline rate gated: %v", violations)
+		}
+	})
+
+	t.Run("candidate that dropped the unit is exempt", func(t *testing.T) {
+		// Renaming a scale run away is visible in the comparison count, not
+		// a spurious division by zero here.
+		newRes := map[string]Result{
+			"BenchmarkServerIngestBin10kVMs": {NsPerOp: 151, Iterations: 1000},
+		}
+		if _, _, violations := diff(oldRes, newRes, testGates()); len(violations) != 0 {
+			t.Errorf("candidate without rate gated: %v", violations)
 		}
 	})
 }
@@ -116,4 +203,86 @@ func TestDefaultGateCoversHotPaths(t *testing.T) {
 			t.Errorf("default ns gate covers noisy end-to-end benchmark %s", name)
 		}
 	}
+}
+
+// TestDiffDriftNormalization: wall-clock gates divide out the suite-median
+// ns ratio, so recording sessions on a slower (or faster) machine don't
+// read as hot-path regressions — while a path that moved against the suite
+// median still fails.
+func TestDiffDriftNormalization(t *testing.T) {
+	// Ten stable pairs: enough for the default driftMin of 8.
+	mk := func(scale func(i int) float64) (map[string]Result, map[string]Result) {
+		oldRes := make(map[string]Result)
+		newRes := make(map[string]Result)
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("BenchmarkSDSObserve%d", i) // all ns-gated
+			oldRes[name] = Result{NsPerOp: 1000, Iterations: 1000}
+			newRes[name] = Result{NsPerOp: 1000 * scale(i), Iterations: 1000}
+		}
+		return oldRes, newRes
+	}
+
+	t.Run("uniform slowdown is machine drift, not regression", func(t *testing.T) {
+		oldRes, newRes := mk(func(int) float64 { return 1.25 })
+		_, drift, violations := diff(oldRes, newRes, testGates())
+		if drift != 1.25 {
+			t.Errorf("drift = %v, want the uniform 1.25 ratio", drift)
+		}
+		if len(violations) != 0 {
+			t.Errorf("uniformly slower machine flagged: %v", violations)
+		}
+	})
+
+	t.Run("outlier against the drifted suite still fails", func(t *testing.T) {
+		oldRes, newRes := mk(func(i int) float64 {
+			if i == 0 {
+				return 2.0 // genuine regression on top of the drift
+			}
+			return 1.25
+		})
+		_, _, violations := diff(oldRes, newRes, testGates())
+		if len(violations) != 1 || !strings.Contains(violations[0].msg, "BenchmarkSDSObserve0") {
+			t.Fatalf("want exactly the outlier flagged, got %v", violations)
+		}
+	})
+
+	t.Run("below drift-min the correction stays off", func(t *testing.T) {
+		oldRes, newRes := mk(func(int) float64 { return 1.25 })
+		g := testGates()
+		g.driftMin = 11
+		_, drift, violations := diff(oldRes, newRes, g)
+		if drift != 1 {
+			t.Errorf("drift = %v with only 10 of 11 required pairs", drift)
+		}
+		if len(violations) != 10 {
+			t.Errorf("want all 10 flagged without normalization, got %d", len(violations))
+		}
+	})
+
+	t.Run("faster machine tightens the gate", func(t *testing.T) {
+		// The suite sped up 30%; a path whose wall clock did not move kept
+		// pace with nothing — that is a relative regression and must fail.
+		oldRes, newRes := mk(func(i int) float64 {
+			if i == 0 {
+				return 1.0
+			}
+			return 0.7
+		})
+		_, _, violations := diff(oldRes, newRes, testGates())
+		if len(violations) != 1 || !strings.Contains(violations[0].msg, "BenchmarkSDSObserve0") {
+			t.Fatalf("unmoved path on a faster machine not flagged: %v", violations)
+		}
+	})
+
+	t.Run("rate gate credits drift", func(t *testing.T) {
+		oldRes, newRes := mk(func(int) float64 { return 1.25 })
+		oldRes["BenchmarkServerIngestBin10kVMs"] = Result{SamplesPerSec: 10e6, Iterations: 1}
+		// -20% raw, but the machine itself is 25% slower: drift-adjusted the
+		// plane kept (and slightly beat) its throughput.
+		newRes["BenchmarkServerIngestBin10kVMs"] = Result{SamplesPerSec: 8e6, Iterations: 1}
+		_, _, violations := diff(oldRes, newRes, testGates())
+		if len(violations) != 0 {
+			t.Errorf("drift-explained throughput drop flagged: %v", violations)
+		}
+	})
 }

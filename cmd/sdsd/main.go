@@ -46,35 +46,57 @@ func main() {
 		app            = flag.String("app", "monitored-vm", "default application name for profiles")
 		profileSeconds = flag.Float64("profile-seconds", 900, "default Stage-1 profile window in stream seconds")
 		buffer         = flag.Int("buffer", 1024, "per-connection sample buffer (full buffer backpressures the client)")
+		shards         = flag.Int("shards", 0, "ingest shards and SO_REUSEPORT accept queues (0 = GOMAXPROCS)")
+		fdLimit        = flag.Uint64("fd-limit", 131072, "raise RLIMIT_NOFILE to at least this many fds (best effort; 0 = leave as is)")
+		quiet          = flag.Bool("quiet", false, "suppress per-stream log lines (scale runs: logging 100k streams costs more than ingesting them)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown drain may take before connections are force-closed")
 	)
 	flag.Parse()
-	if err := run(*listen, *unixPath, *ops, *scheme, *app, *profileSeconds, *buffer, *drainTimeout); err != nil {
+	if err := run(*listen, *unixPath, *ops, *scheme, *app, *profileSeconds, *buffer, *shards, *fdLimit, *quiet, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "sdsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, unixPath, ops, scheme, app string, profileSeconds float64, buffer int, drainTimeout time.Duration) error {
+func run(listen, unixPath, ops, scheme, app string, profileSeconds float64, buffer, shards int, fdLimit uint64, quiet bool, drainTimeout time.Duration) error {
 	if listen == "" && unixPath == "" {
 		return fmt.Errorf("need at least one stream listener (-listen or -unix)")
 	}
-	srv := server.New(server.Options{
+	if fdLimit > 0 {
+		if limit, err := server.EnsureFDLimit(fdLimit); err != nil {
+			log.Printf("sdsd: %v (continuing with %d fds)", err, limit)
+		}
+	}
+	opts := server.Options{
 		Scheme:         scheme,
 		App:            app,
 		ProfileSeconds: profileSeconds,
 		BufferSamples:  buffer,
+		Shards:         shards,
 		Logf:           log.Printf,
-	})
+	}
+	if quiet {
+		opts.Logf = nil
+	}
+	srv := server.New(opts)
 
-	serveErr := make(chan error, 3)
+	serveErr := make(chan error, srv.ShardCount()+2)
 	if listen != "" {
-		l, err := net.Listen("tcp", listen)
+		listeners, sharded, err := server.ListenShards("tcp", listen, srv.ShardCount())
 		if err != nil {
 			return err
 		}
-		log.Printf("sdsd: streaming on tcp %s", l.Addr())
-		go func() { serveErr <- srv.Serve(l) }()
+		if sharded {
+			log.Printf("sdsd: streaming on tcp %s (%d ingest shards, %d SO_REUSEPORT accept queues)",
+				listeners[0].Addr(), srv.ShardCount(), len(listeners))
+		} else {
+			log.Printf("sdsd: streaming on tcp %s (%d ingest shards, single accept queue)",
+				listeners[0].Addr(), srv.ShardCount())
+		}
+		for _, l := range listeners {
+			l := l
+			go func() { serveErr <- srv.Serve(l) }()
+		}
 	}
 	if unixPath != "" {
 		// A stale socket file from a previous run blocks the bind.

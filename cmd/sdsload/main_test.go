@@ -49,7 +49,7 @@ func testCfg(addr, app, scheme string, retries int) config {
 // accounts every sample and reports its alarms.
 func TestStreamVMHappyPath(t *testing.T) {
 	_, addr := startServer(t, server.Options{})
-	res := streamVM(testCfg(addr, "kmeans", "sds", 1), "load-ok", 7, nil, nil)
+	res := streamVM(testCfg(addr, "kmeans", "sds", 1), "load-ok", 7, nil, nil, addr)
 	if res.err != nil {
 		t.Fatal(res.err)
 	}
@@ -70,7 +70,7 @@ func TestStreamVMRejectedHandshakeIsHardFailure(t *testing.T) {
 	t.Run("error reply", func(t *testing.T) {
 		_, addr := startServer(t, server.Options{})
 		// An unknown scheme is rejected at handshake time.
-		res := streamVM(testCfg(addr, "kmeans", "bogus", 1), "load-bad", 7, nil, nil)
+		res := streamVM(testCfg(addr, "kmeans", "bogus", 1), "load-bad", 7, nil, nil, addr)
 		if res.err == nil {
 			t.Fatal("rejected handshake reported success")
 		}
@@ -98,7 +98,7 @@ func TestStreamVMRejectedHandshakeIsHardFailure(t *testing.T) {
 				conn.Close()
 			}
 		}()
-		res := streamVM(testCfg(l.Addr().String(), "kmeans", "sds", 1), "load-hup", 7, nil, nil)
+		res := streamVM(testCfg(l.Addr().String(), "kmeans", "sds", 1), "load-hup", 7, nil, nil, l.Addr().String())
 		if res.err == nil {
 			t.Fatal("server hang-up before handshake reply reported success")
 		}
@@ -141,7 +141,7 @@ func TestStreamVMBinaryFrames(t *testing.T) {
 	cfg := testCfg(addr, "kmeans", "sds", 1)
 	cfg.frames = framesBin
 
-	live := streamVM(cfg, "load-bin", 7, nil, nil)
+	live := streamVM(cfg, "load-bin", 7, nil, nil, cfg.addr)
 	if live.err != nil {
 		t.Fatal(live.err)
 	}
@@ -156,7 +156,7 @@ func TestStreamVMBinaryFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rendered := streamVM(cfg, "load-bin-pre", 7, &pre, nil)
+	rendered := streamVM(cfg, "load-bin-pre", 7, &pre, nil, cfg.addr)
 	if rendered.err != nil {
 		t.Fatal(rendered.err)
 	}

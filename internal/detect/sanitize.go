@@ -55,11 +55,13 @@ func (s *Sanitizer) Observe(sample pcm.Sample) {
 
 func (s *Sanitizer) valid(sample pcm.Sample) bool {
 	switch {
-	case math.IsNaN(sample.T) || math.IsInf(sample.T, 0):
+	// !(|x| <= MaxFloat64) rejects exactly NaN and ±Inf: one branch per
+	// field instead of the IsNaN/IsInf pair on this per-sample path.
+	case !(math.Abs(sample.T) <= math.MaxFloat64):
 		return false
-	case math.IsNaN(sample.Access) || math.IsInf(sample.Access, 0):
+	case !(math.Abs(sample.Access) <= math.MaxFloat64):
 		return false
-	case math.IsNaN(sample.Miss) || math.IsInf(sample.Miss, 0):
+	case !(math.Abs(sample.Miss) <= math.MaxFloat64):
 		return false
 	case sample.Access < 0 || sample.Miss < 0:
 		return false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/timeseries"
 )
 
 // SDS is the combined Statistical-based Detection System of §5.1: for
@@ -14,6 +15,17 @@ import (
 type SDS struct {
 	b *SDSB
 	p *SDSP // nil for non-periodic applications
+
+	// The combined detector drives one moving-average pair and feeds both
+	// sub-detectors' post-MA pipelines from it: SDS/B and SDS/P use the
+	// same (W, ΔW) geometry, so running their averagers separately would
+	// push every raw sample through four identical ring buffers instead
+	// of two. MA preprocessing is the hottest per-sample work in the
+	// ingest plane, so the dedup halves the dominant term. The pair is
+	// borrowed from the embedded SDS/B (idle there, since SDS never calls
+	// the sub-detectors' raw Observe) to keep construction allocation-free
+	// relative to the un-deduplicated layout.
+	maA, maM *timeseries.MovingAverager
 
 	alarmed bool
 	alarms  []Alarm
@@ -36,6 +48,7 @@ func NewSDS(prof Profile, cfg Config) (*SDS, error) {
 		}
 		d.p = p
 	}
+	d.maA, d.maM = b.maA, b.maM
 	return d, nil
 }
 
@@ -49,13 +62,19 @@ func (d *SDS) Boundary() *SDSB { return d.b }
 // applications.
 func (d *SDS) Periodic() *SDSP { return d.p }
 
-// Observe implements Detector.
+// Observe implements Detector. Raw samples run through the shared MA pair
+// once; window boundaries fan out to both sub-detectors' ObserveMA. The
+// sub-detectors only change alarm state at window boundaries, so skipping
+// update between emissions is observationally identical to updating per
+// sample.
 func (d *SDS) Observe(s pcm.Sample) {
-	d.b.Observe(s)
-	if d.p != nil {
-		d.p.Observe(s)
+	mA, okA := d.maA.Push(s.Access)
+	mM, _ := d.maM.Push(s.Miss)
+	if !okA {
+		// Both averagers share their geometry and emit together.
+		return
 	}
-	d.update(s.T)
+	d.ObserveMA(s.T, mA, mM)
 }
 
 // ObserveMA feeds one window-level observation into both sub-detectors'

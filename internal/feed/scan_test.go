@@ -1,0 +1,197 @@
+package feed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+)
+
+// scanDecode drains stream through a FrameScanner the way the event loop
+// does: random-sized byte windows, a carry for the partial trailing frame,
+// and Truncated mapping the leftover at EOF. Returns everything a
+// BinReader-based drain returns so the two can be compared field by field.
+func scanDecode(stream []byte, r *rand.Rand) (samples []pcm.Sample, quarantined, frames int, err error) {
+	var sc FrameScanner
+	dst := make([]pcm.Sample, 0, MaxFrameSamples)
+	var carry []byte
+	pos := 0
+	for {
+		// Append a random-sized chunk, as if one socket read arrived.
+		n := 1 + r.Intn(97)
+		if pos+n > len(stream) {
+			n = len(stream) - pos
+		}
+		carry = append(carry, stream[pos:pos+n]...)
+		pos += n
+		for {
+			consumed, n, q, err := sc.Next(carry, dst)
+			if err == io.EOF {
+				return samples, quarantined, sc.Frames(), nil
+			}
+			if err != nil {
+				return samples, quarantined, sc.Frames(), err
+			}
+			if consumed == 0 {
+				break
+			}
+			quarantined += q
+			samples = append(samples, dst[:n]...)
+			carry = carry[consumed:]
+		}
+		if pos >= len(stream) {
+			return samples, quarantined, sc.Frames(), sc.Truncated(carry)
+		}
+	}
+}
+
+// readerDecode drains stream through the BinReader reference decoder.
+func readerDecode(stream []byte) (samples []pcm.Sample, quarantined, frames int, err error) {
+	r := NewBinReader(bytes.NewReader(stream))
+	batch := make([]pcm.Sample, 0, MaxFrameSamples)
+	for {
+		n, q, err := r.ReadFrame(batch)
+		quarantined += q
+		if err == io.EOF {
+			return samples, quarantined, r.Frames(), nil
+		}
+		if err != nil {
+			return samples, quarantined, r.Frames(), err
+		}
+		samples = append(samples, batch[:n]...)
+	}
+}
+
+// compareDecodes asserts the two decoders agree on every observable.
+func compareDecodes(t *testing.T, stream []byte, r *rand.Rand) {
+	t.Helper()
+	ss, sq, sf, serr := scanDecode(stream, r)
+	rs, rq, rf, rerr := readerDecode(stream)
+	if (serr == nil) != (rerr == nil) {
+		t.Fatalf("scanner err %v, reader err %v", serr, rerr)
+	}
+	if serr != nil && serr.Error() != rerr.Error() {
+		t.Fatalf("error text diverged:\n scanner: %s\n reader:  %s", serr, rerr)
+	}
+	if sq != rq {
+		t.Fatalf("scanner quarantined %d, reader %d", sq, rq)
+	}
+	if sf != rf {
+		t.Fatalf("scanner counted %d frames, reader %d", sf, rf)
+	}
+	if len(ss) != len(rs) {
+		t.Fatalf("scanner decoded %d samples, reader %d", len(ss), len(rs))
+	}
+	for i := range ss {
+		if ss[i] != rs[i] {
+			t.Fatalf("sample %d diverged: scanner %+v, reader %+v", i, ss[i], rs[i])
+		}
+	}
+}
+
+// randomStream renders a random well-formed frame sequence with occasional
+// non-finite samples, ended by an end frame, a bare frame boundary, or
+// nothing special (the caller may truncate further).
+func randomStream(r *rand.Rand) []byte {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	nonFin := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	frames := r.Intn(8)
+	for f := 0; f < frames; f++ {
+		n := 1 + r.Intn(2*MaxFrameSamples) // WriteBatch splits past the cap
+		batch := make([]pcm.Sample, n)
+		for i := range batch {
+			s := pcm.Sample{T: float64(i) * 0.01, Access: r.Float64() * 1000, Miss: r.Float64() * 100}
+			if r.Intn(13) == 0 {
+				switch r.Intn(3) {
+				case 0:
+					s.T = nonFin[r.Intn(3)]
+				case 1:
+					s.Access = nonFin[r.Intn(3)]
+				default:
+					s.Miss = nonFin[r.Intn(3)]
+				}
+			}
+			batch[i] = s
+		}
+		w.WriteBatch(batch)
+	}
+	if r.Intn(2) == 0 {
+		w.End()
+	} else {
+		w.Flush()
+	}
+	return buf.Bytes()
+}
+
+// TestFrameScannerMatchesBinReader is the equivalence contract the scanner
+// documents: over randomized streams — damaged, truncated at arbitrary
+// byte offsets, or clean — both decode paths yield identical samples,
+// quarantine counts, frame counts, and byte-identical error text.
+func TestFrameScannerMatchesBinReader(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		stream := randomStream(r)
+		compareDecodes(t, stream, r)
+		if len(stream) > 0 {
+			// Truncate at a random offset: header cuts, payload cuts, clean
+			// boundary cuts — whatever the offset lands on.
+			compareDecodes(t, stream[:r.Intn(len(stream))], r)
+		}
+		// Corrupt one byte: may hit a frame type (framing lost), a count
+		// (bad count or a desync), or a float payload (still well-framed).
+		if len(stream) > 0 {
+			damaged := append([]byte(nil), stream...)
+			damaged[r.Intn(len(damaged))] ^= byte(1 + r.Intn(255))
+			compareDecodes(t, damaged, r)
+		}
+	}
+}
+
+// TestFrameScannerEveryPrefix walks every prefix of a small valid stream:
+// each cut point must map to exactly the error (or clean EOF) BinReader
+// reports for the same bytes.
+func TestFrameScannerEveryPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	w.WriteBatch([]pcm.Sample{{T: 0.01, Access: 10, Miss: 1}, {T: 0.02, Access: math.NaN(), Miss: 2}})
+	w.WriteBatch([]pcm.Sample{{T: 0.03, Access: 30, Miss: 3}})
+	w.End()
+	stream := buf.Bytes()
+	for cut := 0; cut <= len(stream); cut++ {
+		compareDecodes(t, stream[:cut], r)
+	}
+}
+
+// TestFrameScannerExplicitFramingErrors pins the fatal paths' positions
+// and text against the reader on hand-built wire bytes.
+func TestFrameScannerExplicitFramingErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w := NewBinWriter(&buf)
+		w.WriteBatch([]pcm.Sample{{T: 0.01, Access: 1, Miss: 0}})
+		w.Flush()
+		return buf.Bytes()
+	}
+	badCount := func(count uint16) []byte {
+		b := []byte{frameSamples, 0, 0}
+		binary.LittleEndian.PutUint16(b[1:3], count)
+		return b
+	}
+	for name, stream := range map[string][]byte{
+		"unknown type first":      {0x7f},
+		"unknown type mid-stream": append(valid(), 0x99),
+		"count zero":              badCount(0),
+		"count over cap":          badCount(MaxFrameSamples + 1),
+		"count over cap later":    append(valid(), badCount(2000)...),
+		"bytes after end frame":   append(append(valid(), frameEnd), 0x7f),
+	} {
+		t.Run(name, func(t *testing.T) { compareDecodes(t, stream, r) })
+	}
+}

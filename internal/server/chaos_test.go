@@ -392,7 +392,7 @@ func TestServerIdleEviction(t *testing.T) {
 // being ingested and torn down; under -race it audits every counter the
 // /metricsz report touches.
 func TestMetricsConcurrentScrape(t *testing.T) {
-	s, addr := startServer(t, Options{ProfileSeconds: 5, BufferSamples: 32})
+	s, addr := startServer(t, Options{ProfileSeconds: 5, BufferSamples: 32, Shards: 4})
 	stop := make(chan struct{})
 	var scrapers sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -432,7 +432,121 @@ func TestMetricsConcurrentScrape(t *testing.T) {
 	clients.Wait()
 	close(stop)
 	scrapers.Wait()
-	if m := s.Metrics(); len(m.VMs) != 4 {
+	m := s.Metrics()
+	if len(m.VMs) != 4 {
 		t.Errorf("metrics report %d VMs, want 4", len(m.VMs))
+	}
+	// The scrape loop above read the per-shard gauges while every counter
+	// was moving; now settled, they must reconcile with the totals.
+	if len(m.Shards) != 4 {
+		t.Fatalf("metrics carry %d shard blocks, want 4", len(m.Shards))
+	}
+	var shardSamples, shardQuarantined uint64
+	for _, sh := range m.Shards {
+		shardSamples += sh.Samples
+		shardQuarantined += sh.Quarantined
+	}
+	if shardSamples != m.TotalSamples {
+		t.Errorf("shard samples sum to %d, server total %d", shardSamples, m.TotalSamples)
+	}
+	if shardQuarantined != m.TotalQuarantined {
+		t.Errorf("shard quarantines sum to %d, server total %d", shardQuarantined, m.TotalQuarantined)
+	}
+}
+
+// TestServerIdleSweepChaos pins the IdleTimeout contract across the
+// sharded ingest plane's decode paths: the coarse per-shard sweep must
+// evict exactly the connections whose stream went silent — CSV pumps and
+// event-loop binary streams alike — while leaving slow-but-alive streams
+// untouched, with the same error line and drained accounting the per-read
+// deadline implementation produced.
+func TestServerIdleSweepChaos(t *testing.T) {
+	const (
+		idle    = 300 * time.Millisecond
+		sent    = 100  // samples each silent stream sends before stalling
+		slowTot = 1400 // samples a slow stream trickles in
+		tpcm    = 0.01
+	)
+	s, addr := startServer(t, Options{ProfileSeconds: 20, IdleTimeout: idle, Shards: 2})
+
+	var wg sync.WaitGroup
+	silent := func(i int, hs string, body []byte) {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Errorf("silent %d: %v", i, err)
+			return
+		}
+		defer conn.Close()
+		res := readResponses(t, conn, func() {
+			fmt.Fprintf(conn, "%s\n", hs)
+			if _, err := conn.Write(body); err != nil {
+				t.Errorf("silent %d: body write: %v", i, err)
+			}
+			// Stall without closing: only the sweep can end this stream.
+		})
+		if len(res.errorLines) != 1 || !strings.Contains(res.errorLines[0], "idle timeout") {
+			t.Errorf("silent %d: error lines = %v, want one idle timeout", i, res.errorLines)
+		}
+		if res.done == nil || res.done.samples != sent {
+			t.Errorf("silent %d: done = %+v, want %d samples drained", i, res.done, sent)
+		}
+	}
+	slow := func(i int) {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Errorf("slow %d: %v", i, err)
+			return
+		}
+		defer conn.Close()
+		res := readResponses(t, conn, func() {
+			// 12 s profile = 1200 samples at this tpcm — past the profiler's
+			// 1150-sample minimum, so the trickled stream ends cleanly
+			// monitored.
+			fmt.Fprintf(conn, "sds/1 vm=slow-%d profile=12\nt,access,miss\n", i)
+			// Trickle batches with gaps far below IdleTimeout: a sweep that
+			// measures anything but one blocked read would evict these.
+			for off := 0; off < slowTot; off += 70 {
+				b := synthCSV(off, off+70, tpcm, 100)
+				b = bytes.TrimPrefix(b, []byte("t,access,miss\n"))
+				if _, err := conn.Write(b); err != nil {
+					t.Errorf("slow %d: write: %v", i, err)
+					return
+				}
+				time.Sleep(idle / 10)
+			}
+			conn.(*net.TCPConn).CloseWrite()
+		})
+		if len(res.errorLines) > 0 {
+			t.Errorf("slow %d: evicted a live stream: %v", i, res.errorLines)
+		}
+		if res.done == nil || res.done.samples != slowTot {
+			t.Errorf("slow %d: done = %+v, want %d samples", i, res.done, slowTot)
+		}
+	}
+
+	// 4 silent CSV streams (goroutine pump sweep), 2 silent binary streams
+	// (event-loop sweep where the platform has one), 3 slow CSV streams.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go silent(i, fmt.Sprintf("sds/1 vm=idle-csv-%d profile=20", i), synthCSV(0, sent, tpcm, 100))
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go silent(4+i, fmt.Sprintf("sds/1 vm=idle-bin-%d profile=20 frames=bin", i), synthBinOpen(t, 0, sent, tpcm, 100))
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go slow(i)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.IdleEvictions != 6 {
+		t.Errorf("idle evictions = %d, want 6 (the silent streams, nothing else)", m.IdleEvictions)
+	}
+	if m.ActiveVMs != 0 {
+		t.Errorf("%d VMs still active after sweep and close", m.ActiveVMs)
 	}
 }

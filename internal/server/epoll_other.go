@@ -1,0 +1,23 @@
+//go:build !linux
+
+package server
+
+import (
+	"errors"
+	"net"
+)
+
+// epollLoop is Linux-only; elsewhere every connection uses the
+// per-connection goroutine pumps and the shard is a bookkeeping unit.
+type epollLoop struct{}
+
+func newEpollLoop(sh *ingestShard) (*epollLoop, error) {
+	return nil, errors.New("no shard event loop on this platform")
+}
+
+func (l *epollLoop) wake() {}
+
+// tryEventLoopHandoff never takes ownership off Linux.
+func (s *Server) tryEventLoopHandoff(conn net.Conn, sh *ingestShard, cw *connWriter, st *vmState, sess *Session, vm string, resumed bool, resumeT float64, leftover []byte) bool {
+	return false
+}

@@ -23,19 +23,34 @@ type VMMetrics struct {
 	LastT          float64 `json:"last_t"`
 }
 
+// ShardMetrics is one ingest shard's row in the /metricsz report.
+type ShardMetrics struct {
+	Conns       int64  `json:"conns"`
+	Samples     uint64 `json:"samples"`
+	BinFrames   uint64 `json:"bin_frames"`
+	Quarantined uint64 `json:"quarantined"`
+	QueueDepth  int64  `json:"queue_depth"`
+}
+
 // Metrics is the /metricsz report: per-VM ingestion counters plus the
 // aggregate throughput of the whole server.
 type Metrics struct {
-	UptimeSeconds    float64              `json:"uptime_seconds"`
-	ActiveVMs        int                  `json:"active_vms"`
-	TotalSamples     uint64               `json:"total_samples"`
-	TotalAlarms      uint64               `json:"total_alarms"`
-	TotalQuarantined uint64               `json:"total_quarantined"`
-	TotalBinFrames   uint64               `json:"total_bin_frames"`
-	IdleEvictions    uint64               `json:"idle_evictions"`
-	SamplesPerSecond float64              `json:"samples_per_second"`
-	AlarmedVMs       []string             `json:"alarmed_vms"`
-	VMs              map[string]VMMetrics `json:"vms"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	ActiveVMs        int     `json:"active_vms"`
+	TotalSamples     uint64  `json:"total_samples"`
+	TotalAlarms      uint64  `json:"total_alarms"`
+	TotalQuarantined uint64  `json:"total_quarantined"`
+	TotalBinFrames   uint64  `json:"total_bin_frames"`
+	IdleEvictions    uint64  `json:"idle_evictions"`
+	SamplesPerSecond float64 `json:"samples_per_second"`
+	// Shards has one row per ingest shard; ShardSkew is the hottest shard's
+	// sample count over the per-shard mean (1.0 = perfectly even). The VM
+	// name hash fixes the assignment, so persistent skew means the fleet's
+	// names are clustering and a different shard count may spread better.
+	Shards     []ShardMetrics       `json:"shards"`
+	ShardSkew  float64              `json:"shard_skew"`
+	AlarmedVMs []string             `json:"alarmed_vms"`
+	VMs        map[string]VMMetrics `json:"vms"`
 }
 
 // Metrics snapshots the server's state.
@@ -70,6 +85,25 @@ func (s *Server) Metrics() Metrics {
 	}
 	if m.UptimeSeconds > 0 {
 		m.SamplesPerSecond = float64(m.TotalSamples) / m.UptimeSeconds
+	}
+	m.Shards = make([]ShardMetrics, len(s.shards))
+	var shardMax, shardSum uint64
+	for i, sh := range s.shards {
+		row := ShardMetrics{
+			Conns:       sh.conns.Load(),
+			Samples:     sh.samples.Load(),
+			BinFrames:   sh.frames.Load(),
+			Quarantined: sh.quarantined.Load(),
+			QueueDepth:  sh.queueDepth.Load(),
+		}
+		m.Shards[i] = row
+		shardSum += row.Samples
+		if row.Samples > shardMax {
+			shardMax = row.Samples
+		}
+	}
+	if shardSum > 0 {
+		m.ShardSkew = float64(shardMax) * float64(len(s.shards)) / float64(shardSum)
 	}
 	for _, e := range entries {
 		st := e.st.sess.Stats()

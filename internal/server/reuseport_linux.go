@@ -1,0 +1,69 @@
+//go:build linux
+
+package server
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// ListenShards opens the daemon's front door: n TCP listeners bound to the
+// same address with SO_REUSEPORT, one accept queue per ingest shard, so
+// accept work spreads across cores instead of funneling through a single
+// accept loop. Serve each returned listener on its own goroutine.
+//
+// The boolean reports whether accept sharding is actually in effect. It
+// degrades gracefully to a single plain listener — sharded == false,
+// len(listeners) == 1 — when n <= 1, when the network has no REUSEPORT
+// semantics (unix sockets), or when the socket option is unsupported.
+func ListenShards(network, addr string, n int) ([]net.Listener, bool, error) {
+	if n <= 1 || !isTCP(network) {
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			return nil, false, err
+		}
+		return []net.Listener{l}, false, nil
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}}
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := lc.Listen(context.Background(), network, addr)
+		if err != nil {
+			for _, open := range listeners {
+				open.Close()
+			}
+			if i == 0 {
+				// REUSEPORT itself is unsupported here: fall back to the
+				// single-listener shape rather than failing the daemon.
+				single, serr := net.Listen(network, addr)
+				if serr != nil {
+					return nil, false, err
+				}
+				return []net.Listener{single}, false, nil
+			}
+			return nil, false, err
+		}
+		if i == 0 {
+			// With addr ":0" every subsequent bind must reuse the port the
+			// first listener was assigned, or the group would not share an
+			// accept queue at all.
+			addr = l.Addr().String()
+		}
+		listeners = append(listeners, l)
+	}
+	return listeners, true, nil
+}
+
+func isTCP(network string) bool {
+	return network == "tcp" || network == "tcp4" || network == "tcp6"
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package server
+
+import "net"
+
+// ListenShards degrades to one plain listener where SO_REUSEPORT accept
+// sharding is not portable; the ingest shards still exist, they just
+// share a single accept queue.
+func ListenShards(network, addr string, n int) ([]net.Listener, bool, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return []net.Listener{l}, false, nil
+}

@@ -1,0 +1,40 @@
+//go:build linux
+
+package server
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// EnsureFDLimit makes sure the process may hold at least need open file
+// descriptors, raising RLIMIT_NOFILE when the current soft limit is short.
+// It returns the effective limit. Raising the hard cap needs privilege;
+// without it the soft limit is raised as far as the hard cap allows and the
+// error says precisely how short the budget is — a 100k-stream run that
+// would otherwise die mid-dial with a cryptic EMFILE should fail (or warn)
+// up front instead.
+func EnsureFDLimit(need uint64) (uint64, error) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, fmt.Errorf("getrlimit: %w", err)
+	}
+	if rl.Cur >= need {
+		return rl.Cur, nil
+	}
+	want := rl
+	want.Cur = need
+	if want.Max < need {
+		want.Max = need
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err == nil {
+		return need, nil
+	} else if rl.Cur < rl.Max {
+		want = rl
+		want.Cur = rl.Max
+		if err2 := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err2 == nil {
+			return rl.Max, fmt.Errorf("fd limit: need %d open files, raised soft limit only to the hard cap %d (raising the cap: %v)", need, rl.Max, err)
+		}
+	}
+	return rl.Cur, fmt.Errorf("fd limit: need %d open files, have %d and cannot raise it", need, rl.Cur)
+}

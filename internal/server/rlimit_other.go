@@ -1,0 +1,8 @@
+//go:build !linux
+
+package server
+
+// EnsureFDLimit is a no-op where RLIMIT_NOFILE is not portable; the
+// reported limit is optimistic and the dial path surfaces any real
+// shortfall.
+func EnsureFDLimit(need uint64) (uint64, error) { return need, nil }

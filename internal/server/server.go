@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -64,11 +65,17 @@ type Options struct {
 	ProfileSeconds float64
 	Config         detect.Config
 	KSConfig       detect.KSTestConfig
-	// BufferSamples bounds the per-connection sample buffer between the
-	// connection reader and the detection worker (default 1024). When the
-	// worker falls behind, the reader blocks — backpressure propagates to
+	// BufferSamples bounds the samples buffered between reading and
+	// observing (default 1024): the per-connection batch of the goroutine
+	// pumps, and a floor for the shard event loop's decode batch. When
+	// observation falls behind, reading stops — backpressure propagates to
 	// the client through TCP instead of growing memory.
 	BufferSamples int
+	// Shards is the number of ingest shards (default runtime.GOMAXPROCS(0)).
+	// Every network stream is affine to one shard — shard = fleet stripe of
+	// the VM name mod Shards — so shard-local state never crosses shards;
+	// see shard.go for the model.
+	Shards int
 	// IdleTimeout evicts a connection whose client sends nothing for this
 	// long: the session ends as if the stream closed, so a wedged client
 	// cannot hold its VM slot (and its fleet registration) forever.
@@ -95,7 +102,14 @@ type Server struct {
 	sessions  map[string]*vmState
 	order     []string // registration order, for stable /metricsz output
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
+	// conns tracks goroutine-path connections (nil value until the handler
+	// attaches idle-sweep state). Event-loop connections are owned by
+	// their shard loop and are not in this map.
+	conns map[net.Conn]*connActivity
+
+	shards    []*ingestShard
+	sweepOnce sync.Once
+	sweepStop chan struct{}
 
 	wg       sync.WaitGroup // connection handlers
 	draining atomic.Bool
@@ -148,15 +162,27 @@ func New(opts Options) *Server {
 	if opts.MaxResumes == 0 {
 		opts.MaxResumes = 3
 	}
-	return &Server{
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
 		opts:      opts,
 		fleet:     detect.NewFleet(),
 		start:     time.Now(),
 		sessions:  make(map[string]*vmState),
 		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		conns:     make(map[net.Conn]*connActivity),
+		sweepStop: make(chan struct{}),
 	}
+	s.shards = make([]*ingestShard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &ingestShard{id: i, srv: s}
+	}
+	return s
 }
+
+// ShardCount returns the number of ingest shards.
+func (s *Server) ShardCount() int { return len(s.shards) }
 
 // Fleet returns the server's detector fleet (aggregate alarm state).
 func (s *Server) Fleet() *detect.Fleet { return s.fleet }
@@ -177,6 +203,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listeners[l] = struct{}{}
 	s.mu.Unlock()
+	s.startSweeper()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -191,7 +218,7 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = nil
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go func() {
@@ -206,7 +233,9 @@ func (s *Server) Serve(l net.Listener) error {
 // exits. Handlers still running when ctx expires have their connections
 // force-closed.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.sweepStop)
+	}
 	s.mu.Lock()
 	for l := range s.listeners {
 		l.Close()
@@ -217,6 +246,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
+	// Shard event loops see the draining flag on wake, drain each of
+	// their connections' kernel buffers and finalize them.
+	s.wakeLoops()
 
 	done := make(chan struct{})
 	go func() {
@@ -360,74 +392,67 @@ func (s *Server) release(vm string, st *vmState) {
 	s.fleet.Unprotect(vm)
 }
 
-// idleConn arms a rolling read deadline so a silent client cannot hold its
-// VM slot forever. Shutdown's deadline interrupt must win the race with
-// re-arming, so after each arm the draining flag is re-checked and the
-// deadline snapped back to now. evicted distinguishes a genuine idle
-// timeout from the shutdown interrupt, which uses the same error.
-type idleConn struct {
-	net.Conn
-	idle     time.Duration
-	draining *atomic.Bool
-	evicted  atomic.Bool
-}
-
-func (c *idleConn) Read(p []byte) (int, error) {
-	c.Conn.SetReadDeadline(time.Now().Add(c.idle))
-	if c.draining.Load() {
-		c.Conn.SetReadDeadline(time.Now())
-	}
-	n, err := c.Conn.Read(p)
-	if err != nil && isDeadlineErr(err) && !c.draining.Load() {
-		c.evicted.Store(true)
-	}
-	return n, err
-}
-
-// handleConn runs one VM stream: handshake, then a bounded-buffer pipeline
-// from the feed parser to the detection worker.
+// handleConn runs one VM stream. Ownership either stays here for the whole
+// stream (serveConn returns false: close and untrack the conn) or moves to
+// a shard event loop (true: the loop closes, untracks and logs).
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
+	if s.serveConn(conn) {
+		return
+	}
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
 
-	cw := &connWriter{w: bufio.NewWriter(conn)}
-	if tc, ok := conn.(*net.TCPConn); ok {
+// serveConn handshakes one VM stream and ingests it: binary streams on
+// socket conns hand off to their shard's event loop right after the ok
+// line; everything else (CSV, non-socket conns, platforms without the
+// loop) runs an inline pump on this goroutine. Returns whether ownership
+// transferred to an event loop.
+func (s *Server) serveConn(conn net.Conn) (handed bool) {
+	cw := &connWriter{w: bufio.NewWriter(conn), conn: conn}
+	if rb, ok := conn.(interface{ SetReadBuffer(int) error }); ok {
 		// A larger receive buffer batches the flow-control round trips: with
 		// the kernel default, a backpressured stream ping-pongs ~128 KiB
 		// chunks between sender wakeup and reader drain, and at 10k
 		// connections those per-chunk syscalls dominate the host's CPU.
-		tc.SetReadBuffer(256 * 1024)
+		// Both TCP and unix-socket conns expose the setter.
+		rb.SetReadBuffer(256 * 1024)
 	}
-	var idler *idleConn
+	var act *connActivity
 	src := conn
 	if s.opts.IdleTimeout > 0 {
-		idler = &idleConn{Conn: conn, idle: s.opts.IdleTimeout, draining: &s.draining}
-		src = idler
+		act = &connActivity{}
+		src = &sweptConn{Conn: conn, act: act, srv: s}
+		s.mu.Lock()
+		s.conns[conn] = act
+		s.mu.Unlock()
+		s.startSweeper() // covers handlers invoked outside Serve
 	}
 	// The 64 KiB read buffer is recycled across connections: allocating and
 	// zeroing one per conn is ~640 MB of memory traffic at 10k streams.
 	br := readerPool.Get().(*bufio.Reader)
 	br.Reset(src)
-	defer func() {
+	putReader := func() {
 		br.Reset(nil) // drop the conn reference before pooling
 		readerPool.Put(br)
-	}()
+	}
 	h, err := readHandshake(br)
 	if err != nil {
+		putReader()
 		cw.line("error: %v", err)
-		return
+		return false
 	}
 	st, resumed, err := s.attach(s.streamSpec(h), cw)
 	if err != nil {
+		putReader()
 		cw.line("error: %v", err)
-		return
+		return false
 	}
-	defer s.release(h.vm, st)
 	sess, spec := st.sess, st.spec
+	sh := s.shardFor(h.vm)
+	sh.conns.Add(1)
 	// A resumed client replays its stream from the start; samples at or
 	// before the high-water mark were already ingested and are skipped so
 	// the session sees each sample exactly once, in order.
@@ -449,15 +474,41 @@ func (s *Server) handleConn(conn net.Conn) {
 			h.vm, spec.App, spec.Scheme, spec.ProfileSeconds, framesSuffix)
 	}
 	if err != nil {
-		return
+		putReader()
+		sh.conns.Add(-1)
+		s.release(h.vm, st)
+		return false
 	}
+
+	if binFrames {
+		// Stream bytes the handshake reader buffered past the handshake line
+		// must travel with the connection.
+		var leftover []byte
+		if n := br.Buffered(); n > 0 {
+			peek, _ := br.Peek(n)
+			leftover = append([]byte(nil), peek...)
+		}
+		if s.tryEventLoopHandoff(conn, sh, cw, st, sess, h.vm, resumed, resumeT, leftover) {
+			putReader()
+			return true
+		}
+		if act != nil {
+			// A failed handoff may have dropped the sweep registration.
+			s.mu.Lock()
+			s.conns[conn] = act
+			s.mu.Unlock()
+		}
+	}
+	defer putReader()
+	defer sh.conns.Add(-1)
+	defer s.release(h.vm, st)
 
 	var procErr, readErr error
 	var evicted bool
 	if binFrames {
-		procErr, readErr, evicted = s.pumpBinary(br, idler, st, sess, h.vm, resumed, resumeT)
+		procErr, readErr, evicted = s.pumpBinary(br, act, sh, st, sess, h.vm, resumed, resumeT)
 	} else {
-		procErr, readErr, evicted = s.pumpCSV(br, idler, st, sess, h.vm, resumed, resumeT)
+		procErr, readErr, evicted = s.pumpCSV(br, act, sh, st, sess, h.vm, resumed, resumeT)
 	}
 
 	stats, closeErr := sess.Close()
@@ -475,6 +526,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		h.vm, stats.Ingested(), stats.Monitored, stats.Dropped, stats.Alarms)
 	s.logf("vm %s: stream closed (%d samples, %d dropped, %d alarms, alarmed=%v)",
 		h.vm, stats.Ingested(), stats.Dropped, stats.Alarms, stats.Alarmed)
+	return false
 }
 
 // orCSV names the effective encoding for log lines.
@@ -485,30 +537,38 @@ func orCSV(frames string) string {
 	return frames
 }
 
-// pumpCSV runs the CSV stream pipeline: the reader parses one sample per
-// line into a bounded channel; the worker drains it into the session. A
-// full channel blocks the reader, which backpressures the client through
-// TCP. On shutdown the reader stops (read deadline) and the worker still
-// drains everything buffered, so no accepted sample is lost.
-func (s *Server) pumpCSV(br *bufio.Reader, idler *idleConn, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
-	ch := make(chan pcm.Sample, s.opts.BufferSamples)
-	workerDone := make(chan struct{})
-	go func() {
-		defer close(workerDone)
-		for smp := range ch {
-			if procErr != nil {
-				continue // poisoned: unblock the reader, discard
-			}
-			if err := sess.Observe(smp); err != nil {
-				procErr = err
-				continue
-			}
-			s.totalSamples.Add(1)
+// pumpCSV runs the CSV stream inline: parse a line, batch the sample,
+// observe full batches under one session lock. Since PR 7's ObserveBatch,
+// a separate worker goroutine bought nothing but channel traffic and a
+// second stack — parsing and observing now interleave on this goroutine,
+// and backpressure is simply not reading. After a session error the pump
+// keeps reading to end of stream, discarding (same contract as before:
+// the client gets its error after a full drain, not a mid-stream reset).
+func (s *Server) pumpCSV(br *bufio.Reader, act *connActivity, sh *ingestShard, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
+	batch := batchPool.Get().([]pcm.Sample)
+	defer func() { batchPool.Put(batch[:0]) }()
+	flush := func() {
+		if len(batch) == 0 {
+			return
 		}
-	}()
+		if procErr == nil {
+			n, err := sess.ObserveBatch(batch)
+			s.totalSamples.Add(uint64(n))
+			sh.samples.Add(uint64(n))
+			if err != nil {
+				procErr = err
+			}
+		}
+		batch = batch[:0]
+	}
 
 	reader := feed.NewReader(br)
 	for {
+		if len(batch) > 0 && br.Buffered() == 0 {
+			// About to block on the socket: observe what we have first, so a
+			// live mid-flight stream is never parked in the batch.
+			flush()
+		}
 		smp, err := reader.Next()
 		if err == io.EOF {
 			break
@@ -520,11 +580,12 @@ func (s *Server) pumpCSV(br *bufio.Reader, idler *idleConn, st *vmState, sess *S
 				// one torn write must not kill an otherwise healthy stream.
 				st.quarantined.Add(1)
 				s.totalQuarantined.Add(1)
+				sh.quarantined.Add(1)
 				s.logf("vm %s: quarantined malformed line %d: %v", vm, pe.Line, pe.Err)
 				continue
 			}
 			if isDeadlineErr(err) {
-				if idler != nil && idler.evicted.Load() {
+				if act != nil && act.evicted.Load() {
 					evicted = true
 					s.idleEvictions.Add(1)
 				}
@@ -537,10 +598,12 @@ func (s *Server) pumpCSV(br *bufio.Reader, idler *idleConn, st *vmState, sess *S
 		if resumed && smp.T <= resumeT {
 			continue
 		}
-		ch <- smp
+		batch = append(batch, smp)
+		if len(batch) == cap(batch) {
+			flush()
+		}
 	}
-	close(ch)
-	<-workerDone
+	flush()
 	return procErr, readErr, evicted
 }
 
@@ -554,66 +617,34 @@ var (
 	batchPool  = sync.Pool{New: func() any { return make([]pcm.Sample, 0, feed.MaxFrameSamples) }}
 )
 
-// pumpBinary runs the binary frame pipeline. Decoded batches recirculate
-// through a fixed pool of per-connection buffers (depth bounded by
-// BufferSamples), so steady-state ingest allocates nothing per frame: the
-// reader takes a free buffer, decodes one frame into it, and hands it to
-// the worker; the worker observes every sample and returns the buffer.
-// An empty free list blocks the reader — the same TCP backpressure
-// contract as the CSV pipeline, measured in frames instead of samples.
+// pumpBinary is the fallback binary pump for connections a shard event
+// loop cannot own (non-socket conns, non-Linux, loop startup failure):
+// decode one frame into a pooled buffer, observe it in bulk, repeat.
+// Backpressure is not reading; a session error drains to end of stream
+// discarding, so the client still gets its error after a full drain.
 //
 // Non-finite samples are quarantined per sample (framing stays intact);
 // framing damage — unknown frame type, bad count, truncated payload — is
 // fatal because a byte stream without newlines has no resync point.
-func (s *Server) pumpBinary(br *bufio.Reader, idler *idleConn, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
-	depth := s.opts.BufferSamples / feed.MaxFrameSamples
-	if depth < 2 {
-		depth = 2
-	}
-	data := make(chan []pcm.Sample, depth)
-	free := make(chan []pcm.Sample, depth+1)
-	for i := 0; i < depth+1; i++ {
-		free <- batchPool.Get().([]pcm.Sample)
-	}
-	defer func() {
-		// The pipeline is quiesced here (worker done, channels drained), so
-		// every buffer is back on free; return them for the next connection.
-		close(free)
-		for buf := range free {
-			batchPool.Put(buf[:0])
-		}
-	}()
-	workerDone := make(chan struct{})
-	go func() {
-		defer close(workerDone)
-		for batch := range data {
-			if procErr == nil {
-				n, err := sess.ObserveBatch(batch)
-				s.totalSamples.Add(uint64(n))
-				if err != nil {
-					procErr = err
-				}
-			}
-			free <- batch[:0]
-		}
-	}()
+func (s *Server) pumpBinary(br *bufio.Reader, act *connActivity, sh *ingestShard, st *vmState, sess *Session, vm string, resumed bool, resumeT float64) (procErr, readErr error, evicted bool) {
+	buf := batchPool.Get().([]pcm.Sample)
+	defer func() { batchPool.Put(buf[:0]) }()
 
 	bin := feed.NewBinReader(br)
 	for {
-		buf := <-free
 		n, q, err := bin.ReadFrame(buf)
 		if q > 0 {
 			st.quarantined.Add(uint64(q))
 			s.totalQuarantined.Add(uint64(q))
+			sh.quarantined.Add(uint64(q))
 			s.logf("vm %s: quarantined %d non-finite samples in frame %d", vm, q, bin.Frames())
 		}
 		if err != nil {
-			free <- buf
 			if err == io.EOF {
 				break
 			}
 			if isDeadlineErr(err) {
-				if idler != nil && idler.evicted.Load() {
+				if act != nil && act.evicted.Load() {
 					evicted = true
 					s.idleEvictions.Add(1)
 				}
@@ -624,6 +655,10 @@ func (s *Server) pumpBinary(br *bufio.Reader, idler *idleConn, st *vmState, sess
 			break
 		}
 		s.totalBinFrames.Add(1)
+		sh.frames.Add(1)
+		if procErr != nil {
+			continue // poisoned: drain the stream, discard
+		}
 		batch := buf[:n]
 		if resumed {
 			k := 0
@@ -635,10 +670,16 @@ func (s *Server) pumpBinary(br *bufio.Reader, idler *idleConn, st *vmState, sess
 			}
 			batch = batch[:k]
 		}
-		data <- batch
+		if len(batch) == 0 {
+			continue
+		}
+		nObs, err := sess.ObserveBatch(batch)
+		s.totalSamples.Add(uint64(nObs))
+		sh.samples.Add(uint64(nObs))
+		if err != nil {
+			procErr = err
+		}
 	}
-	close(data)
-	<-workerDone
 	return procErr, readErr, evicted
 }
 
@@ -772,12 +813,18 @@ func parseHandshake(line string) (handshake, error) {
 	return h, nil
 }
 
-// connWriter serializes line writes to a connection (alarms come from the
-// worker goroutine, errors from the reader).
+// connWriter serializes line writes to a connection (alarms can come from
+// another VM's pump via the fleet, errors from this stream's owner). When
+// writeTimeout is set — connections owned by a shard event loop — every
+// line is bounded by a write deadline, so one wedged client cannot stall
+// the single-threaded loop; past the deadline the writer goes sticky-failed
+// like any dead client.
 type connWriter struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	mu           sync.Mutex
+	w            *bufio.Writer
+	err          error
+	conn         net.Conn
+	writeTimeout time.Duration
 }
 
 func (c *connWriter) line(format string, args ...any) error {
@@ -785,6 +832,9 @@ func (c *connWriter) line(format string, args ...any) error {
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return c.err
+	}
+	if c.writeTimeout > 0 && c.conn != nil {
+		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
 	if _, err := fmt.Fprintf(c.w, format+"\n", args...); err != nil {
 		c.err = err

@@ -17,25 +17,36 @@ func ACF(x []float64, maxLag int) []float64 {
 	if maxLag < 0 {
 		maxLag = 0
 	}
-	out := make([]float64, maxLag+1)
-	acfDirectInto(out, x, maxLag)
+	// Result and demeaned scratch share one allocation; the full-slice
+	// expression keeps the returned slice from aliasing the scratch.
+	buf := make([]float64, maxLag+1+n)
+	out := buf[: maxLag+1 : maxLag+1]
+	acfDirectInto(out, buf[maxLag+1:], x, maxLag)
 	return out
 }
 
 // acfDirectInto fills out (length maxLag+1) with the normalized
-// autocorrelation of x by the direct O(n·maxLag) summation. out[0] is 1; a
-// constant (zero-variance) series yields 0 at every other lag.
-func acfDirectInto(out, x []float64, maxLag int) {
+// autocorrelation of x by the direct O(n·maxLag) summation, using d (length
+// ≥ len(x)) as scratch for the demeaned series. out[0] is 1; a constant
+// (zero-variance) series yields 0 at every other lag.
+//
+// Demeaning once up front instead of inside the lag loop halves the
+// inner-loop arithmetic; the stored differences and the accumulation order
+// are exactly those of the historical two-subtraction form, so the results
+// stay bit-identical.
+func acfDirectInto(out, d, x []float64, maxLag int) {
 	n := len(x)
 	mean := 0.0
 	for _, v := range x {
 		mean += v
 	}
 	mean /= float64(n)
+	d = d[:n]
 	var c0 float64
-	for _, v := range x {
-		d := v - mean
-		c0 += d * d
+	for i, v := range x {
+		dv := v - mean
+		d[i] = dv
+		c0 += dv * dv
 	}
 	out[0] = 1
 	if c0 == 0 {
@@ -46,8 +57,10 @@ func acfDirectInto(out, x []float64, maxLag int) {
 	}
 	for lag := 1; lag <= maxLag; lag++ {
 		var c float64
-		for i := 0; i+lag < n; i++ {
-			c += (x[i] - mean) * (x[i+lag] - mean)
+		tail := d[lag:]
+		head := d[:len(tail)] // same length, so both indexings are check-free
+		for i, v := range tail {
+			c += head[i] * v
 		}
 		out[lag] = c / c0
 	}

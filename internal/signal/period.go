@@ -79,7 +79,7 @@ type PeriodEstimator struct {
 	plans       map[int]*FFTPlan
 	cx          []complex128
 	spec        []float64
-	acf         []float64
+	acf         []float64 // ACF result plus demeaned-series scratch behind it
 	cands       candidateList
 	candPeriods []int
 }
@@ -146,13 +146,14 @@ func (e *PeriodEstimator) periodogramInto(out, x []float64) {
 const acfFFTThreshold = 1 << 14
 
 // acfInto fills out (length maxLag+1, maxLag pre-clamped to len(x)-1) with
-// the normalized autocorrelation of x. Small problems use the direct loop
+// the normalized autocorrelation of x, using dm (length ≥ len(x)) as
+// demeaned-series scratch. Small problems use the direct loop
 // (bit-identical to ACF); large ones — the profiler's whole-series ACF —
 // use the FFT-based method, which agrees to ~1e-12 relative.
-func (e *PeriodEstimator) acfInto(out, x []float64, maxLag int) {
+func (e *PeriodEstimator) acfInto(out, dm, x []float64, maxLag int) {
 	n := len(x)
 	if n*maxLag <= acfFFTThreshold {
-		acfDirectInto(out, x, maxLag)
+		acfDirectInto(out, dm, x, maxLag)
 		return
 	}
 
@@ -255,12 +256,15 @@ func (e *PeriodEstimator) Estimate(x []float64, opts PeriodOptions) (PeriodEstim
 	var est PeriodEstimate
 	e.candPeriods = e.candPeriods[:0]
 	maxLag := n / 2
-	e.acf = growFloats(e.acf, maxLag+1)
-	e.acfInto(e.acf, x, maxLag)
+	// One buffer serves both the ACF values and the direct path's demeaned
+	// scratch, so first use at a window size costs a single allocation.
+	e.acf = growFloats(e.acf, maxLag+1+n)
+	acf := e.acf[:maxLag+1]
+	e.acfInto(acf, e.acf[maxLag+1:], x, maxLag)
 	for _, c := range cands {
 		period := n / c.k
 		e.candPeriods = append(e.candPeriods, period)
-		if refined, ok := onACFHill(e.acf, period); ok {
+		if refined, ok := onACFHill(acf, period); ok {
 			est.Period = refined
 			est.Power = c.power
 			est.Candidates = e.candPeriods

@@ -166,8 +166,8 @@ func (t *fftTables) radix2(x []complex128, inverse bool) {
 	if n < 2 {
 		return
 	}
-	for i := 0; i < n; i++ {
-		j := int(t.rev[i])
+	for i, r := range t.rev {
+		j := int(r)
 		if j > i {
 			x[i], x[j] = x[j], x[i]
 		}
@@ -181,11 +181,16 @@ func (t *fftTables) radix2(x []complex128, inverse bool) {
 		half := size >> 1
 		stage := tw[off : off+half]
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * stage[k]
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+			// Per-block slices replace the start+k+half index arithmetic
+			// and let the compiler drop the butterfly bounds checks; the
+			// arithmetic itself is untouched, so results stay bit-identical.
+			lo := x[start : start+half]
+			hi := x[start+half : start+size][:len(stage)]
+			for k, w := range stage {
+				a := lo[k]
+				b := hi[k] * w
+				lo[k] = a + b
+				hi[k] = a - b
 			}
 		}
 		off += half
@@ -201,21 +206,28 @@ func (t *fftTables) bluestein(dst, src, scratch []complex128, inverse bool) {
 	if inverse {
 		chirp, bFFT = t.chirpI, t.bFFTI
 	}
+	// Length-linked reslices below keep the element loops bounds-check
+	// free; every arithmetic expression is unchanged and bit-identical.
 	a := scratch[:t.m]
-	for k := 0; k < n; k++ {
-		a[k] = src[k] * chirp[k]
+	head := a[:len(chirp)]
+	srcN := src[:len(chirp)]
+	for k, ck := range chirp {
+		head[k] = srcN[k] * ck
 	}
-	for k := n; k < t.m; k++ {
-		a[k] = 0
+	pad := a[n:]
+	for k := range pad {
+		pad[k] = 0
 	}
 	t.sub.radix2(a, false)
-	for i := range a {
-		a[i] *= bFFT[i]
+	bf := bFFT[:len(a)]
+	for i, bv := range bf {
+		a[i] *= bv
 	}
 	t.sub.radix2(a, true)
 	scale := complex(1/float64(t.m), 0)
-	for k := 0; k < n; k++ {
-		dst[k] = a[k] * scale * chirp[k]
+	dstN := dst[:len(chirp)]
+	for k, ck := range chirp {
+		dstN[k] = head[k] * scale * ck
 	}
 }
 

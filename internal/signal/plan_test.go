@@ -245,7 +245,7 @@ func TestFFTACFMatchesDirect(t *testing.T) {
 			t.Fatalf("n=%d does not exercise the FFT path; fix the test sizes", n)
 		}
 		got := make([]float64, maxLag+1)
-		e.acfInto(got, x, maxLag)
+		e.acfInto(got, make([]float64, len(x)), x, maxLag)
 		want := ACF(x, maxLag)
 		for lag := range want {
 			if math.Abs(got[lag]-want[lag]) > 1e-9 {
@@ -262,7 +262,7 @@ func TestFFTACFConstantSeries(t *testing.T) {
 		x[i] = 3.5
 	}
 	out := make([]float64, 501)
-	e.acfInto(out, x, 500)
+	e.acfInto(out, make([]float64, len(x)), x, 500)
 	if out[0] != 1 {
 		t.Fatalf("lag 0: got %v, want 1", out[0])
 	}

@@ -43,13 +43,30 @@ func (m *MovingAverager) Step() int { return m.dw }
 
 // Push observes one raw sample. It returns the new moving-average value and
 // true when a window boundary is reached, otherwise (0, false).
+//
+// The warm path (window full) comes first and touches neither count nor the
+// fill logic: on the ingest hot path virtually every call lands there, and
+// the detector pipeline runs several averagers per raw sample. The eviction
+// subtract and the insertion add stay separate statements — fusing them into
+// sum += x - old changes the rounding and would break the bit-exact golden
+// transcripts.
 func (m *MovingAverager) Push(x float64) (float64, bool) {
 	if m.count >= m.w {
 		m.sum -= m.buf[m.next]
+		m.buf[m.next] = x
+		// Conditional wrap: integer division is measurably slower than a
+		// predictable branch on this per-sample path.
+		if m.next++; m.next == m.w {
+			m.next = 0
+		}
+		m.sum += x
+		if m.since++; m.since == m.dw {
+			m.since = 0
+			return m.sum / float64(m.w), true
+		}
+		return 0, false
 	}
 	m.buf[m.next] = x
-	// Conditional wrap: integer division is measurably slower than a
-	// predictable branch on this per-sample path.
 	if m.next++; m.next == m.w {
 		m.next = 0
 	}
@@ -58,16 +75,8 @@ func (m *MovingAverager) Push(x float64) (float64, bool) {
 	if m.count < m.w {
 		return 0, false
 	}
-	if m.count == m.w {
-		m.since = 0
-		return m.sum / float64(m.w), true
-	}
-	m.since++
-	if m.since == m.dw {
-		m.since = 0
-		return m.sum / float64(m.w), true
-	}
-	return 0, false
+	m.since = 0
+	return m.sum / float64(m.w), true
 }
 
 // Reset discards all buffered samples.

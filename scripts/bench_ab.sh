@@ -1,0 +1,96 @@
+#!/bin/sh
+# Same-machine A/B recheck of wall-clock benchmark-gate failures.
+#
+#   scripts/bench_ab.sh OLD_JSON FAIL_LIST
+#
+# benchdiff compares trajectories recorded in different sessions, and on a
+# shared cloud host the machine's effective speed moves between sessions —
+# non-uniformly: FP-dense kernels can slow 25% while syscall-bound paths
+# don't move, so even the suite-median drift correction under-corrects
+# them. The ground truth for "did this PR regress benchmark X" is an
+# interleaved A/B on one machine at one time: benchmark X under the
+# baseline commit's code and under the working tree, alternating runs so
+# both sides sample the same machine weather, and compare the per-side
+# minima (interference is one-sided, so the minimum is the robust
+# estimator).
+#
+# FAIL_LIST is benchdiff's -fail-list output ("kind name" lines). Only
+# wall-clock (ns) violations are eligible: allocation counts are
+# deterministic per build, and a samples/sec drop means re-running the
+# scale runs, not excusing them — any alloc or rate line fails
+# immediately. The baseline code is the commit that last touched OLD_JSON
+# (the commit that recorded the baseline trajectory), checked out into a
+# throwaway git worktree.
+#
+# The verdict per benchmark: the working tree passes when its minimum
+# ns/op is within AB_NS_TOL (default the gate's 10%) of the baseline
+# code's minimum measured in the same interleaved session.
+set -eu
+
+OLD_JSON=$1
+FAIL_LIST=$2
+ROUNDS=${AB_ROUNDS:-3}
+NS_TOL=${AB_NS_TOL:-0.10}
+
+if grep -qv '^ns ' "$FAIL_LIST"; then
+    echo "bench-ab: non-wall-clock violations present; A/B cannot excuse them:" >&2
+    grep -v '^ns ' "$FAIL_LIST" >&2
+    exit 1
+fi
+names=$(awk '{print $2}' "$FAIL_LIST")
+if [ -z "$names" ]; then
+    echo "bench-ab: empty fail list" >&2
+    exit 1
+fi
+regex="^($(printf '%s' "$names" | tr '\n' '|'))$"
+
+base_ref=$(git log -1 --format=%H -- "$OLD_JSON")
+if [ -z "$base_ref" ]; then
+    echo "bench-ab: cannot find the commit that recorded $OLD_JSON" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+cleanup() {
+    git worktree remove --force "$tmp/base" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-ab: interleaved A/B vs $base_ref over $ROUNDS rounds: $(printf '%s' "$names" | tr '\n' ' ')"
+git worktree add --detach --quiet "$tmp/base" "$base_ref"
+
+# The gated hot-path benchmarks all live in the root package or under
+# internal/; -run=NONE keeps this to benchmark selection only.
+run_side() {
+    (cd "$1" && go test -run=NONE -bench "$regex" -benchtime=1s . ./internal/... 2>/dev/null) \
+        | grep '^Benchmark' >> "$2" || true
+}
+
+i=0
+while [ "$i" -lt "$ROUNDS" ]; do
+    run_side "$tmp/base" "$tmp/base.txt"
+    run_side . "$tmp/cand.txt"
+    i=$((i + 1))
+done
+
+fail=0
+for name in $names; do
+    base_ns=$(awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" {if (min==0||$3<min) min=$3} END {print min+0}' "$tmp/base.txt")
+    cand_ns=$(awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" {if (min==0||$3<min) min=$3} END {print min+0}' "$tmp/cand.txt")
+    if [ "${base_ns%%.*}" = "0" ] || [ "${cand_ns%%.*}" = "0" ]; then
+        echo "bench-ab: FAIL $name: no measurement (base=$base_ns cand=$cand_ns)" >&2
+        fail=1
+        continue
+    fi
+    verdict=$(awk -v b="$base_ns" -v c="$cand_ns" -v tol="$NS_TOL" \
+        'BEGIN {printf "%s %.1f", (c <= b*(1+tol)) ? "ok" : "FAIL", (c/b-1)*100}')
+    echo "bench-ab: ${verdict#* }% $name: baseline code $base_ns ns/op, working tree $cand_ns ns/op -> ${verdict%% *}"
+    [ "${verdict%% *}" = "ok" ] || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench-ab: regression confirmed against baseline code on this machine" >&2
+    exit 1
+fi
+echo "bench-ab: all wall-clock violations explained by machine drift; gate passes"
