@@ -26,9 +26,9 @@ race:
 # with the default time budget for stable ns/op. When a scale run has left
 # bench_scale.txt behind (make bench-scale), its sustained-throughput lines
 # are merged into the same trajectory.
-BENCH_PR ?= 8
+BENCH_PR ?= 9
 BENCH_FIGURES := Table1Defaults|Fig|Sec32FalseAlarmRates|Ablation
-BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve
+BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve|CUSUMObserve|TimeFragObserve|EWMAVarObserve
 # The ns-gated microbenchmarks record -count=3; benchjson keeps the
 # fastest run of each (shared-host interference is one-sided, so the
 # minimum is the low-noise estimator the gate should compare).
@@ -90,9 +90,9 @@ chaos:
 # throughs, CLI outputs). Only packages that import internal/golden register
 # the -update flag, so the target lists them explicitly.
 goldens:
-	$(GO) test -count=1 -update \
+	$(GO) test -count=1 \
 		./cmd/evaluate ./cmd/sensitivity ./cmd/detectd \
-		./internal/server ./internal/experiment
+		./internal/server ./internal/experiment -update
 
 # Verify every headline claim of the paper (PASS/FAIL, nonzero exit on FAIL).
 verify:

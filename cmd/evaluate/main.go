@@ -5,14 +5,17 @@
 //	evaluate -fig11    detection delay
 //	evaluate -fig12    performance overhead (normalized execution time)
 //	evaluate -table1   the SDS parameters in effect
+//	evaluate -roc      threshold-sweep ROC tournament across all schemes
 //	evaluate -all      everything
 //
 // The accuracy figures share one experiment pass, so -fig9 -fig10 -fig11
 // together cost the same as any one of them. Use -runs to trade precision
-// for time (the paper uses 20 runs per cell).
+// for time (the paper uses 20 runs per cell). -json switches the ROC
+// output to machine-readable JSON (curves, points, AUC) for plotting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +37,8 @@ func main() {
 		fig12    = flag.Bool("fig12", false, "performance overhead results")
 		table1   = flag.Bool("table1", false, "print the SDS parameters (Table 1)")
 		ablate   = flag.Bool("ablation", false, "DFT-only vs ACF-only vs DFT-ACF period estimation (§4.2.2 motivation)")
+		roc      = flag.Bool("roc", false, "threshold-sweep ROC tournament: AUC and budgeted operating point per scheme")
+		jsonOut  = flag.Bool("json", false, "emit the ROC results as JSON instead of tables (only affects -roc)")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		runs     = flag.Int("runs", 20, "runs per cell")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -43,7 +48,7 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *all) {
+	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *roc || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,7 +57,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
-	err = run(os.Stdout, *fig9 || *all, *fig10 || *all, *fig11 || *all, *fig12 || *all, *table1 || *all, *ablate || *all, *runs, *seed, *apps, *parallel)
+	err = run(os.Stdout, options{
+		fig9:     *fig9 || *all,
+		fig10:    *fig10 || *all,
+		fig11:    *fig11 || *all,
+		fig12:    *fig12 || *all,
+		table1:   *table1 || *all,
+		ablate:   *ablate || *all,
+		roc:      *roc || *all,
+		jsonOut:  *jsonOut,
+		runs:     *runs,
+		seed:     *seed,
+		apps:     *apps,
+		parallel: *parallel,
+	})
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -62,15 +80,29 @@ func main() {
 	}
 }
 
-func run(out io.Writer, fig9, fig10, fig11, fig12, table1, ablate bool, runs int, seed uint64, appsFlag string, parallel int) error {
+// options selects what run executes and how.
+type options struct {
+	fig9, fig10, fig11, fig12 bool
+	table1, ablate, roc       bool
+	jsonOut                   bool
+	runs                      int
+	seed                      uint64
+	apps                      string
+	parallel                  int
+}
+
+func run(out io.Writer, opt options) error {
+	fig9, fig10, fig11, fig12 := opt.fig9, opt.fig10, opt.fig11, opt.fig12
+	table1, ablate := opt.table1, opt.ablate
+
 	cfg := experiment.DefaultConfig()
-	cfg.Runs = runs
-	cfg.Seed = seed
-	cfg.Parallel = parallel
+	cfg.Runs = opt.runs
+	cfg.Seed = opt.seed
+	cfg.Parallel = opt.parallel
 
 	var apps []string
-	if appsFlag != "" {
-		for _, a := range strings.Split(appsFlag, ",") {
+	if opt.apps != "" {
+		for _, a := range strings.Split(opt.apps, ",") {
 			apps = append(apps, strings.TrimSpace(a))
 		}
 	} else {
@@ -143,7 +175,83 @@ func run(out io.Writer, fig9, fig10, fig11, fig12, table1, ablate bool, runs int
 		}
 		fmt.Fprintln(out)
 	}
+
+	if opt.roc {
+		curves, err := cfg.ROC(apps)
+		if err != nil {
+			return err
+		}
+		if opt.jsonOut {
+			if err := renderROCJSON(out, curves); err != nil {
+				return err
+			}
+		} else if err := renderROC(out, curves); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// renderROC prints the tournament summary (AUC and budgeted operating
+// point per scheme) followed by every curve's swept points.
+func renderROC(out io.Writer, curves []experiment.ROCCurve) error {
+	summary := experiment.Table{
+		Title: fmt.Sprintf("ROC tournament — trapezoidal AUC and operating point at FPR ≤ %.0f%%",
+			100*experiment.ROCBudgetFPR),
+		Header: []string{"scheme", "knob", "AUC", "op knob", "op TPR", "op FPR", "op delay (s)", "op det-rate"},
+	}
+	for _, c := range curves {
+		op, ok := c.OperatingPoint()
+		if !ok {
+			summary.AddRow(string(c.Scheme), c.Knob, fmt.Sprintf("%.3f", c.AUC),
+				"n/a", "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
+		delay := "n/a"
+		if op.Delay.N > 0 {
+			delay = distCell(op.Delay)
+		}
+		summary.AddRow(string(c.Scheme), c.Knob, fmt.Sprintf("%.3f", c.AUC),
+			fmt.Sprintf("%g", op.Threshold),
+			fmt.Sprintf("%.3f", op.TPR), fmt.Sprintf("%.3f", op.FPR),
+			delay, fmt.Sprintf("%.0f%%", 100*op.DetectionRate))
+	}
+	if err := summary.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	points := experiment.Table{
+		Title:  "ROC tournament — swept points (epochs pooled over app × attack × run)",
+		Header: []string{"scheme", "knob", "value", "TPR", "FPR", "delay (s)", "det-rate"},
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			delay := "n/a"
+			if p.Delay.N > 0 {
+				delay = distCell(p.Delay)
+			}
+			points.AddRow(string(c.Scheme), c.Knob, fmt.Sprintf("%g", p.Threshold),
+				fmt.Sprintf("%.3f", p.TPR), fmt.Sprintf("%.3f", p.FPR),
+				delay, fmt.Sprintf("%.0f%%", 100*p.DetectionRate))
+		}
+	}
+	if err := points.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// renderROCJSON emits the curves as indented JSON (stable field order,
+// deterministic at any -parallel, ready for plotting).
+func renderROCJSON(out io.Writer, curves []experiment.ROCCurve) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		BudgetFPR float64
+		Curves    []experiment.ROCCurve
+	}{experiment.ROCBudgetFPR, curves})
 }
 
 func distCell(d metrics.Distribution) string {

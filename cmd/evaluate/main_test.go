@@ -22,8 +22,52 @@ func TestRunMatchesGolden(t *testing.T) {
 		t.Skip("runs a reduced evaluation grid; skipped in -short mode")
 	}
 	var got strings.Builder
-	if err := run(&got, true, true, true, true, true, true, 2, 1, "kmeans,facenet", 0); err != nil {
+	err := run(&got, options{
+		fig9: true, fig10: true, fig11: true, fig12: true,
+		table1: true, ablate: true,
+		runs: 2, seed: 1, apps: "kmeans,facenet", parallel: 0,
+	})
+	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	golden.AssertString(t, "testdata/golden/evaluate_small.txt", got.String())
+}
+
+// TestROCMatchesGolden pins the ROC tournament tables the same way
+// (equivalent to: evaluate -roc -runs 2 -apps kmeans,facenet -seed 1).
+// The tournament promises bit-identical output at any -parallel setting;
+// the fixture is the cross-machine half of that promise, and any change to
+// the threshold grids, the pooling accounting or the AUC integration
+// surfaces here as a line diff.
+func TestROCMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced tournament grid; skipped in -short mode")
+	}
+	var got strings.Builder
+	err := run(&got, options{
+		roc:  true,
+		runs: 2, seed: 1, apps: "kmeans,facenet", parallel: 0,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden.AssertString(t, "testdata/golden/roc_small.txt", got.String())
+}
+
+// TestROCJSONMatchesGolden pins the -json encoding of the same tournament
+// (field order, indentation, numeric formatting) for downstream plotting
+// scripts.
+func TestROCJSONMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced tournament grid; skipped in -short mode")
+	}
+	var got strings.Builder
+	err := run(&got, options{
+		roc: true, jsonOut: true,
+		runs: 2, seed: 1, apps: "kmeans,facenet", parallel: 0,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden.AssertString(t, "testdata/golden/roc_small.json", got.String())
 }

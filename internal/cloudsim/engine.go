@@ -225,6 +225,24 @@ func (e *engine) attachDetector(v *vm) error {
 			return err
 		}
 		v.det, v.wobs, v.counter = d, d, d
+	case "CUSUM":
+		d, err := detect.NewCUSUM(prof, e.cfg)
+		if err != nil {
+			return err
+		}
+		v.det, v.wobs, v.counter = d, d, d
+	case "TimeFrag":
+		d, err := detect.NewTimeFrag(prof, e.cfg)
+		if err != nil {
+			return err
+		}
+		v.det, v.wobs, v.counter = d, d, d
+	case "EWMAVar":
+		d, err := detect.NewEWMAVar(prof, e.cfg)
+		if err != nil {
+			return err
+		}
+		v.det, v.wobs, v.counter = d, d, d
 	default:
 		return fmt.Errorf("cloudsim: no detector for scheme %q", e.sc.Scheme)
 	}

@@ -86,7 +86,8 @@ type Scenario struct {
 	// Apps cycles over the initial VMs (default: all ten paper apps).
 	Apps []string `json:"apps,omitempty"`
 	// Scheme is the detection scheme of monitored VMs: "SDS", "SDS/B",
-	// "SDS/P", "KStest" (exact fidelity only) or "none" (default "SDS").
+	// "SDS/P", "CUSUM", "TimeFrag", "EWMAVar", "KStest" (exact fidelity
+	// only) or "none" (default "SDS").
 	Scheme string `json:"scheme,omitempty"`
 	// MonitorAll monitors every benign VM, not just each host's victim.
 	MonitorAll bool `json:"monitor_all,omitempty"`
@@ -227,7 +228,7 @@ func (s Scenario) validate() error {
 		return fmt.Errorf("cloudsim: unknown fidelity %q", s.Fidelity)
 	}
 	switch s.Scheme {
-	case "SDS", "SDS/B", "SDS/P", "KStest", "none":
+	case "SDS", "SDS/B", "SDS/P", "CUSUM", "TimeFrag", "EWMAVar", "KStest", "none":
 	default:
 		return fmt.Errorf("cloudsim: unknown scheme %q", s.Scheme)
 	}

@@ -86,3 +86,41 @@ func TestKSTestObserveSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("KSTest.Observe: %.2f allocs/op in steady state (checks included), want 0", allocs)
 	}
 }
+
+func TestCUSUMObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 78)
+	d, err := NewCUSUM(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := genSamples(t, workload.KMeans, 79, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("CUSUM.Observe: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestTimeFragObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 80)
+	d, err := NewTimeFrag(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := genSamples(t, workload.KMeans, 81, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("TimeFrag.Observe: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+func TestEWMAVarObserveZeroAlloc(t *testing.T) {
+	prof := steadyProfile(t, workload.KMeans, 82)
+	d, err := NewEWMAVar(prof, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 s spans burn-in, calibration and a long detection phase, so the
+	// measured window includes post-calibration violation tracking.
+	samples := genSamples(t, workload.KMeans, 83, 120, attack.Schedule{})
+	if allocs := observeAllocs(t, d, samples, len(samples)/2); allocs != 0 {
+		t.Fatalf("EWMAVar.Observe: %.2f allocs/op in steady state, want 0", allocs)
+	}
+}

@@ -121,6 +121,36 @@ type Config struct {
 	// PeriodTolerance is the fractional period deviation that counts as a
 	// change (paper: 20%).
 	PeriodTolerance float64
+
+	// The detector-zoo knobs below parameterize the non-paper schemes
+	// (CUSUM, TimeFrag, EWMAVar). Zero selects the scheme's default, so
+	// configs written before the zoo existed keep validating and behaving
+	// identically.
+
+	// CusumK is the CUSUM slack (reference drift) in profiled σ_E units:
+	// per-window deviations within K·σ_E are absorbed before the
+	// change-point statistic accumulates. Zero selects the boundary factor
+	// K, tying the slack to the same Chebyshev-calibrated normal range
+	// SDS/B uses.
+	CusumK float64
+	// CusumH is the CUSUM decision interval in σ_E units; the alarm raises
+	// when either one-sided statistic reaches it. Zero selects 8.
+	CusumH float64
+	// FragWindow is TimeFrag's evaluation window length in MA windows.
+	// Zero selects 60 (30 s at Table 1 geometry).
+	FragWindow int
+	// FragFrac is the fraction of suspicious windows within FragWindow
+	// that raises the TimeFrag alarm. Zero selects 0.5 — the same 30
+	// suspicious windows as H_C, but without the consecutiveness demand.
+	FragFrac float64
+	// VarBeta is EWMAVar's variance-smoothing factor. Zero selects 0.05.
+	VarBeta float64
+	// VarCalib is EWMAVar's self-calibration length in MA windows (the
+	// leading monitored windows it learns its own variance baseline from).
+	// Zero selects 100.
+	VarCalib int
+	// VarH is EWMAVar's consecutive-violation threshold. Zero selects 10.
+	VarH int
 }
 
 // DefaultConfig returns the paper's Table 1 parameters.
@@ -160,8 +190,27 @@ func (c Config) Validate() error {
 		return fmt.Errorf("detect: H_P must be positive, got %d", c.HP)
 	case c.PeriodTolerance <= 0 || c.PeriodTolerance >= 1:
 		return fmt.Errorf("detect: period tolerance must be in (0,1), got %v", c.PeriodTolerance)
+	case c.CusumK < 0 || c.CusumH < 0:
+		return fmt.Errorf("detect: CUSUM slack/interval must be ≥ 0 (0 = default), got k=%v H=%v", c.CusumK, c.CusumH)
+	case c.FragWindow < 0 || c.FragFrac < 0 || c.FragFrac > 1:
+		return fmt.Errorf("detect: TimeFrag window must be ≥ 0 and fraction in [0,1] (0 = default), got W=%d frac=%v", c.FragWindow, c.FragFrac)
+	case c.VarBeta < 0 || c.VarBeta > 1 || c.VarCalib < 0 || c.VarH < 0:
+		return fmt.Errorf("detect: EWMAVar β must be in [0,1] and calib/H ≥ 0 (0 = default), got β=%v calib=%d H=%d", c.VarBeta, c.VarCalib, c.VarH)
 	}
 	return nil
+}
+
+// cloneAlarms is the defensive copy every Alarms() implementation returns.
+// The contract is uniform across the detector zoo: the returned slice is the
+// caller's to keep, append to, or mutate — it must never alias the
+// detector's internal history, or a caller that retains it would observe
+// later rising edges appearing in (or racing with) a slice it believes is a
+// point-in-time snapshot. TestAlarmsNoAliasing enforces this for every
+// registered scheme.
+func cloneAlarms(alarms []Alarm) []Alarm {
+	out := make([]Alarm, len(alarms))
+	copy(out, alarms)
+	return out
 }
 
 // WindowStat is one preprocessed observation emitted by the SDS pipeline

@@ -308,11 +308,7 @@ func (d *KSTest) Alarmed() bool { return d.alarmed }
 func (d *KSTest) AlarmCount() int { return len(d.alarms) }
 
 // Alarms implements Detector.
-func (d *KSTest) Alarms() []Alarm {
-	out := make([]Alarm, len(d.alarms))
-	copy(out, d.alarms)
-	return out
-}
+func (d *KSTest) Alarms() []Alarm { return cloneAlarms(d.alarms) }
 
 // Collecting reports whether the detector is currently collecting reference
 // samples (i.e. other VMs are throttled).

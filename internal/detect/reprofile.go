@@ -33,6 +33,13 @@ type Reprofiler struct {
 	filled   bool
 	lastSeen float64
 
+	// history holds the alarms of every detector generation retired by
+	// Reprofile(). Alarm history must survive the swap: consumers track
+	// emission progress as an index into Alarms() (the server's
+	// emitted-count poll), so a swap that dropped old alarms would make
+	// AlarmCount() regress below the consumer's index — suppressing every
+	// later rising edge, or slicing out of range.
+	history      []Alarm
 	alarmedSince float64 // virtual time the current alarm started; -1 if none
 	reprofiles   int
 }
@@ -89,11 +96,21 @@ func (r *Reprofiler) Observe(s pcm.Sample) {
 // Alarmed implements Detector.
 func (r *Reprofiler) Alarmed() bool { return r.det.Alarmed() }
 
-// Alarms implements Detector.
-func (r *Reprofiler) Alarms() []Alarm { return r.det.Alarms() }
+// Alarms implements Detector: every alarm raised across all detector
+// generations, retired ones included, in rising order.
+func (r *Reprofiler) Alarms() []Alarm {
+	cur := r.det.Alarms()
+	if len(r.history) == 0 {
+		return cur
+	}
+	out := make([]Alarm, 0, len(r.history)+len(cur))
+	out = append(out, r.history...)
+	return append(out, cur...)
+}
 
-// AlarmCount implements AlarmCounter.
-func (r *Reprofiler) AlarmCount() int { return alarmCount(r.det) }
+// AlarmCount implements AlarmCounter. It is monotone across Reprofile()
+// calls: retired generations keep contributing their alarms.
+func (r *Reprofiler) AlarmCount() int { return len(r.history) + alarmCount(r.det) }
 
 // Reprofiles returns how many times the profile has been rebuilt.
 func (r *Reprofiler) Reprofiles() int { return r.reprofiles }
@@ -129,6 +146,9 @@ func (r *Reprofiler) Reprofile() (Profile, error) {
 	if err != nil {
 		return Profile{}, err
 	}
+	// Retire the old generation's alarms into the history before the swap
+	// (Alarms() already hands back a copy, safe to keep).
+	r.history = append(r.history, r.det.Alarms()...)
 	r.det = det
 	r.alarmedSince = -1
 	r.reprofiles++

@@ -1,0 +1,137 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/pcm"
+	"github.com/memdos/sds/internal/workload"
+)
+
+// These tests pin the reprofiling alarm-history contract: swapping in a
+// fresh detector generation must not rewrite the past. Before the fix,
+// Reprofile() dropped the retired generation's alarms, so AlarmCount()
+// regressed and an emitted-count consumer (the server's alarm-forwarding
+// poll slices Alarms()[emitted:]) either suppressed every later rising
+// edge or sliced out of range.
+
+// reprofilerUnderShift drives a Reprofiler through: normal traffic → a
+// behavioural shift that raises a persistent alarm → Reprofile(). It
+// returns the reprofiler and a feed function bound to the shifted model.
+func reprofilerUnderShift(t *testing.T) (*Reprofiler, func(seconds float64)) {
+	t.Helper()
+	cfg := DefaultConfig()
+	prof := steadyProfile(t, workload.KMeans, 141)
+	r, err := NewReprofiler(workload.KMeans, prof, cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := shiftedModel(t, 1.6, 142)
+	now := 0.0
+	feed := func(seconds float64) {
+		n := int(seconds / cfg.TPCM)
+		for i := 0; i < n; i++ {
+			now += cfg.TPCM
+			a, miss := changed.Sample(cfg.TPCM, workload.Env{})
+			r.Observe(pcm.Sample{T: now, Access: a, Miss: miss})
+		}
+	}
+	feed(900) // stale-profile alarm materializes, buffer fills with shifted traffic
+	if !r.Alarmed() || r.AlarmCount() == 0 {
+		t.Fatal("no persistent alarm before reprofiling; scenario did not materialize")
+	}
+	return r, feed
+}
+
+func TestReprofileKeepsAlarmHistory(t *testing.T) {
+	r, feed := reprofilerUnderShift(t)
+	before := r.AlarmCount()
+	beforeAlarms := r.Alarms()
+
+	if _, err := r.Reprofile(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.AlarmCount(); got < before {
+		t.Fatalf("AlarmCount regressed across Reprofile: %d → %d", before, got)
+	}
+	after := r.Alarms()
+	if len(after) < len(beforeAlarms) {
+		t.Fatalf("Alarms shrank across Reprofile: %d → %d", len(beforeAlarms), len(after))
+	}
+	for i, a := range beforeAlarms {
+		if after[i] != a {
+			t.Fatalf("alarm %d rewritten across Reprofile: %+v → %+v", i, a, after[i])
+		}
+	}
+
+	// The fresh generation must still be able to raise new edges that land
+	// after the history. A second behavioural shift on top of the new
+	// profile re-alarms; its alarms must extend, not replace, the history.
+	feed(60) // settle the fresh detector on the now-normal traffic
+	if r.Alarmed() {
+		t.Fatal("fresh generation still alarmed on re-profiled traffic")
+	}
+	count := r.AlarmCount()
+	if count < before {
+		t.Fatalf("AlarmCount regressed after settling: %d → %d", before, count)
+	}
+}
+
+// TestReprofileEmittedCountConsumer replays the server's alarm-forwarding
+// pattern against a Reprofiler across a reprofiling window: poll
+// AlarmCount(), forward Alarms()[emitted:], advance emitted. With history
+// dropped this pattern slices out of range or never forwards again.
+func TestReprofileEmittedCountConsumer(t *testing.T) {
+	r, feed := reprofilerUnderShift(t)
+
+	emitted := 0
+	var forwarded []Alarm
+	pump := func() {
+		t.Helper()
+		if r.AlarmCount() == emitted {
+			return
+		}
+		alarms := r.Alarms()
+		if len(alarms) < emitted {
+			t.Fatalf("AlarmCount/Alarms shrank below emitted index: %d < %d", len(alarms), emitted)
+		}
+		for _, a := range alarms[emitted:] {
+			emitted++
+			forwarded = append(forwarded, a)
+		}
+	}
+	pump()
+	if len(forwarded) == 0 {
+		t.Fatal("no alarms forwarded before reprofiling")
+	}
+	preReprofile := len(forwarded)
+
+	if _, err := r.Reprofile(); err != nil {
+		t.Fatal(err)
+	}
+	pump() // must be a no-op, not a crash or a re-emission
+	if len(forwarded) != preReprofile {
+		t.Fatalf("reprofiling duplicated edges: %d forwarded after swap, want %d", len(forwarded), preReprofile)
+	}
+
+	// Drive the fresh generation back into alarm with a second shift —
+	// 2.6× the original base, i.e. ~1.6× the just-learned profile — and
+	// verify its new edges flow through the same consumer.
+	feed(60) // settle the fresh detector on re-profiled traffic first
+	pump()
+	shifted := shiftedModel(t, 2.6, 143)
+	now := r.lastSeen
+	for i := 0; i < int(600/r.cfg.TPCM); i++ {
+		now += r.cfg.TPCM
+		a, miss := shifted.Sample(r.cfg.TPCM, workload.Env{})
+		r.Observe(pcm.Sample{T: now, Access: a, Miss: miss})
+	}
+	pump()
+	if len(forwarded) <= preReprofile {
+		t.Fatal("post-reprofile rising edge never reached the emitted-count consumer")
+	}
+	for i := 1; i < len(forwarded); i++ {
+		if forwarded[i].T < forwarded[i-1].T {
+			t.Fatalf("forwarded alarms out of order at %d: %v after %v", i, forwarded[i].T, forwarded[i-1].T)
+		}
+	}
+}

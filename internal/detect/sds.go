@@ -117,8 +117,4 @@ func (d *SDS) Alarmed() bool { return d.alarmed }
 func (d *SDS) AlarmCount() int { return len(d.alarms) }
 
 // Alarms implements Detector.
-func (d *SDS) Alarms() []Alarm {
-	out := make([]Alarm, len(d.alarms))
-	copy(out, d.alarms)
-	return out
-}
+func (d *SDS) Alarms() []Alarm { return cloneAlarms(d.alarms) }

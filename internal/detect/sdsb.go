@@ -147,11 +147,7 @@ func (d *SDSB) Alarmed() bool { return d.alarmed }
 func (d *SDSB) AlarmCount() int { return len(d.alarms) }
 
 // Alarms implements Detector.
-func (d *SDSB) Alarms() []Alarm {
-	out := make([]Alarm, len(d.alarms))
-	copy(out, d.alarms)
-	return out
-}
+func (d *SDSB) Alarms() []Alarm { return cloneAlarms(d.alarms) }
 
 // Violations returns the current consecutive-violation counts for the two
 // counters (diagnostics and tests).

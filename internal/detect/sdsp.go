@@ -207,11 +207,7 @@ func (d *SDSP) Alarmed() bool { return d.alarmed }
 func (d *SDSP) AlarmCount() int { return len(d.alarms) }
 
 // Alarms implements Detector.
-func (d *SDSP) Alarms() []Alarm {
-	out := make([]Alarm, len(d.alarms))
-	copy(out, d.alarms)
-	return out
-}
+func (d *SDSP) Alarms() []Alarm { return cloneAlarms(d.alarms) }
 
 // Deviations returns the current consecutive-deviation count (diagnostics).
 func (d *SDSP) Deviations() int { return d.devCount }

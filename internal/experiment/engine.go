@@ -101,19 +101,32 @@ func parallelMap[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 // may enter the delay distribution.
 type runPool struct {
 	recalls, specs, delays []float64
-	detected, runs         int
+	detected, onsets, runs int
 }
 
-// add pools one run's outcome.
+// add pools one run's outcome. Vacuous statistics are excluded per side:
+// recall, detection and delay only exist for runs that actually contained
+// an attack onset (TP+FN > 0) — a no-attack run's Recall is a vacuous 1
+// (metrics.ratioOrOne) and pooling it would inflate the recall and
+// detection-rate of any cell that mixes attack kinds with Kind None, as
+// the ROC tournament's FPR cells do. Symmetrically, specificity is pooled
+// only from runs with negative epochs. This mirrors the fig11 "n/a"
+// accounting: a denominator no run contributes to yields no sample, not a
+// fake perfect one.
 func (p *runPool) add(out metrics.Outcome) {
 	p.runs++
-	p.recalls = append(p.recalls, out.Recall*100)
-	p.specs = append(p.specs, out.Specificity*100)
-	if out.Detected {
-		p.detected++
+	if out.TP+out.FN > 0 {
+		p.onsets++
+		p.recalls = append(p.recalls, out.Recall*100)
+		if out.Detected {
+			p.detected++
+		}
+		if out.Delay >= 0 {
+			p.delays = append(p.delays, out.Delay)
+		}
 	}
-	if out.Delay >= 0 {
-		p.delays = append(p.delays, out.Delay)
+	if out.TN+out.FP > 0 {
+		p.specs = append(p.specs, out.Specificity*100)
 	}
 }
 
@@ -122,10 +135,12 @@ func (p *runPool) recall() metrics.Distribution      { return metrics.Summarize(
 func (p *runPool) specificity() metrics.Distribution { return metrics.Summarize(p.specs) }
 func (p *runPool) delay() metrics.Distribution       { return metrics.Summarize(p.delays) }
 
-// detectionRate is the fraction of pooled runs that detected the attack.
+// detectionRate is the fraction of pooled attack-onset runs that detected
+// the attack. Runs without an onset are excluded from the denominator —
+// there was nothing to detect.
 func (p *runPool) detectionRate() float64 {
-	if p.runs == 0 {
+	if p.onsets == 0 {
 		return 0
 	}
-	return float64(p.detected) / float64(p.runs)
+	return float64(p.detected) / float64(p.onsets)
 }

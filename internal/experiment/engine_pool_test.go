@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/metrics"
+)
+
+// TestRunPoolExcludesNoOnsetRuns pins the cell-accounting contract: runs
+// without an attack onset (Kind None — TP+FN = 0) contribute to the
+// specificity pool only. Before the fix their vacuous Recall = 1 entered
+// the recall distribution, their latched false alarms (metrics marks
+// Detected on any alarm when AttackStart is 0) bumped the detection
+// count, and the detection-rate denominator counted them as missed or
+// detected attacks that never happened — exactly the mix the ROC
+// tournament's FPR cells pool.
+func TestRunPoolExcludesNoOnsetRuns(t *testing.T) {
+	var p runPool
+	// One genuine attack run: half the attack epochs caught, 12 s delay.
+	p.add(metrics.Outcome{
+		TP: 5, FN: 5, TN: 8, FP: 2,
+		Recall: 0.5, Specificity: 0.8,
+		Detected: true, Delay: 12,
+	})
+	// Two no-onset runs, one clean, one with a false alarm that set the
+	// vacuous Detected flag. Neither may touch recall, delay or the
+	// detection rate.
+	p.add(metrics.Outcome{
+		TN: 10, Recall: 1, Specificity: 1, Delay: -1,
+	})
+	p.add(metrics.Outcome{
+		TN: 9, FP: 1, Recall: 1, Specificity: 0.9,
+		Detected: true, Delay: 3,
+	})
+
+	if p.runs != 3 || p.onsets != 1 {
+		t.Fatalf("runs/onsets = %d/%d, want 3/1", p.runs, p.onsets)
+	}
+	if rec := p.recall(); rec.N != 1 || rec.Median != 50 {
+		t.Fatalf("recall pooled %d samples (median %v), want the single onset run at 50", rec.N, rec.Median)
+	}
+	if d := p.delay(); d.N != 1 || d.Median != 12 {
+		t.Fatalf("delay pooled %d samples (median %v), want only the onset run's 12 s", d.N, d.Median)
+	}
+	if rate := p.detectionRate(); rate != 1 {
+		t.Fatalf("detectionRate = %v, want 1 (1 of 1 onset runs; false alarms on no-onset runs do not count)", rate)
+	}
+	if sp := p.specificity(); sp.N != 3 {
+		t.Fatalf("specificity pooled %d samples, want all 3 runs", sp.N)
+	}
+}
+
+// TestRunPoolAllNoOnset pins the empty-denominator behaviour: a cell of
+// only no-attack runs has no detection rate (0, not NaN or 1) and empty
+// recall/delay distributions.
+func TestRunPoolAllNoOnset(t *testing.T) {
+	var p runPool
+	p.add(metrics.Outcome{TN: 10, Recall: 1, Specificity: 1, Delay: -1})
+	p.add(metrics.Outcome{TN: 8, FP: 2, Recall: 1, Specificity: 0.8, Detected: true, Delay: -1})
+
+	if rate := p.detectionRate(); rate != 0 {
+		t.Fatalf("detectionRate = %v on a no-onset cell, want 0", rate)
+	}
+	if rec := p.recall(); rec.N != 0 {
+		t.Fatalf("recall pooled %d samples on a no-onset cell, want 0", rec.N)
+	}
+	if d := p.delay(); d.N != 0 {
+		t.Fatalf("delay pooled %d samples on a no-onset cell, want 0", d.N)
+	}
+	if sp := p.specificity(); sp.N != 2 {
+		t.Fatalf("specificity pooled %d samples, want 2", sp.N)
+	}
+}

@@ -105,9 +105,9 @@ func TestValidateRejectsNegativeParallel(t *testing.T) {
 // distribution.
 func TestRunPoolFiltersLatchedAlarms(t *testing.T) {
 	var pool runPool
-	pool.add(metrics.Outcome{Recall: 1, Specificity: 0.9, Detected: true, Delay: 12})
-	pool.add(metrics.Outcome{Recall: 1, Specificity: 0.5, Detected: true, Delay: -1}) // latched
-	pool.add(metrics.Outcome{Recall: 0, Specificity: 1, Detected: false, Delay: -1})  // missed
+	pool.add(metrics.Outcome{TP: 10, TN: 9, FP: 1, Recall: 1, Specificity: 0.9, Detected: true, Delay: 12})
+	pool.add(metrics.Outcome{TP: 10, TN: 5, FP: 5, Recall: 1, Specificity: 0.5, Detected: true, Delay: -1}) // latched
+	pool.add(metrics.Outcome{FN: 10, TN: 10, Recall: 0, Specificity: 1, Detected: false, Delay: -1})        // missed
 
 	d := pool.delay()
 	if d.N != 1 {

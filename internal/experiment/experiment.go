@@ -19,13 +19,17 @@ import (
 // Scheme identifies a detection scheme under evaluation.
 type Scheme string
 
-// The schemes of the paper's evaluation (§5.1).
+// The schemes of the paper's evaluation (§5.1), plus the detector-zoo
+// baselines fielded for the ROC tournament.
 const (
-	SchemeSDS    Scheme = "SDS"    // combined system
-	SchemeSDSB   Scheme = "SDS/B"  // boundary-based alone
-	SchemeSDSP   Scheme = "SDS/P"  // period-based alone (periodic apps only)
-	SchemeKSTest Scheme = "KStest" // baseline of Zhang et al.
-	SchemeNone   Scheme = "none"   // no detection (overhead baseline)
+	SchemeSDS      Scheme = "SDS"      // combined system
+	SchemeSDSB     Scheme = "SDS/B"    // boundary-based alone
+	SchemeSDSP     Scheme = "SDS/P"    // period-based alone (periodic apps only)
+	SchemeKSTest   Scheme = "KStest"   // baseline of Zhang et al.
+	SchemeCUSUM    Scheme = "CUSUM"    // two-sided change-point over EWMA counters
+	SchemeTimeFrag Scheme = "TimeFrag" // fragmentation-tolerant windowed density
+	SchemeEWMAVar  Scheme = "EWMAVar"  // EWMA-of-variance baseline
+	SchemeNone     Scheme = "none"     // no detection (overhead baseline)
 )
 
 // Config parameterizes the evaluation harness. Construct with
@@ -98,15 +102,17 @@ func (c Config) Validate() error {
 	return c.KSTest.Validate()
 }
 
-// SchemesFor returns the schemes the paper evaluates for an application:
-// SDS and KStest everywhere, plus standalone SDS/B and SDS/P for the
-// periodic applications (PCA, FaceNet).
+// SchemesFor returns the schemes evaluated for an application: the paper's
+// set — SDS and KStest everywhere, plus standalone SDS/B and SDS/P for the
+// periodic applications (PCA, FaceNet) — extended with the detector-zoo
+// baselines (CUSUM, TimeFrag, EWMAVar), which apply to every application.
 func SchemesFor(app string) []Scheme {
 	prof := workload.MustAppProfile(app)
 	if prof.Periodic {
-		return []Scheme{SchemeSDS, SchemeSDSB, SchemeSDSP, SchemeKSTest}
+		return []Scheme{SchemeSDS, SchemeSDSB, SchemeSDSP, SchemeKSTest,
+			SchemeCUSUM, SchemeTimeFrag, SchemeEWMAVar}
 	}
-	return []Scheme{SchemeSDS, SchemeKSTest}
+	return []Scheme{SchemeSDS, SchemeKSTest, SchemeCUSUM, SchemeTimeFrag, SchemeEWMAVar}
 }
 
 // ThrottleState adapts the KStest throttling callbacks to the telemetry
@@ -155,6 +161,15 @@ func (c Config) newDetector(scheme Scheme, prof detect.Profile) (detect.Detector
 		flag := &ThrottleState{}
 		d, err := detect.NewKSTest(c.KSTest, flag)
 		return d, flag, err
+	case SchemeCUSUM:
+		d, err := detect.NewCUSUM(prof, c.Detect)
+		return d, nil, err
+	case SchemeTimeFrag:
+		d, err := detect.NewTimeFrag(prof, c.Detect)
+		return d, nil, err
+	case SchemeEWMAVar:
+		d, err := detect.NewEWMAVar(prof, c.Detect)
+		return d, nil, err
 	default:
 		return nil, nil, fmt.Errorf("experiment: unknown scheme %q", scheme)
 	}

@@ -41,10 +41,12 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestSchemesFor(t *testing.T) {
-	if got := SchemesFor(workload.KMeans); len(got) != 2 {
+	// Non-periodic apps: the paper pair (SDS, KStest) plus the detector zoo.
+	if got := SchemesFor(workload.KMeans); len(got) != 5 {
 		t.Fatalf("non-periodic schemes = %v", got)
 	}
-	if got := SchemesFor(workload.FaceNet); len(got) != 4 {
+	// Periodic apps additionally run the SDS/B and SDS/P components.
+	if got := SchemesFor(workload.FaceNet); len(got) != 7 {
 		t.Fatalf("periodic schemes = %v", got)
 	}
 }
@@ -105,9 +107,9 @@ func TestAccuracyCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// k-means: 2 attacks × 2 schemes.
-	if len(cells) != 4 {
-		t.Fatalf("got %d cells, want 4", len(cells))
+	// k-means: 2 attacks × 5 schemes (paper pair + zoo).
+	if len(cells) != 10 {
+		t.Fatalf("got %d cells, want 10", len(cells))
 	}
 	for _, cell := range cells {
 		if cell.Recall.Median < 50 {

@@ -52,6 +52,11 @@ func (c Config) OverheadRun(app string, scheme Scheme, run int) (float64, error)
 		// no detection, no overhead
 	case SchemeSDSB:
 		tax = pcmSamplingTax + sdsbAnalysisTax
+	case SchemeCUSUM, SchemeTimeFrag, SchemeEWMAVar:
+		// The zoo detectors keep O(1) state per window (four CUSUM
+		// accumulators, a boolean ring, one variance EWMA) on the same
+		// PCM sampling path, so they price like the bounds check.
+		tax = pcmSamplingTax + sdsbAnalysisTax
 	case SchemeSDSP:
 		tax = pcmSamplingTax + sdspAnalysisTax
 	case SchemeSDS:

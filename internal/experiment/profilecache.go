@@ -8,14 +8,38 @@ import (
 
 // profileKey identifies a Stage-1 profiling pass exactly: the profile is a
 // pure function of the application, the derived seed, the profiling duration
-// and the detection parameters (the profiling RNG substream app+"/profile"
-// is independent of the run substream, so runs sharing a derived seed share
-// the profile bit for bit).
+// and the profile-affecting detection parameters (the profiling RNG
+// substream app+"/profile" is independent of the run substream, so runs
+// sharing a derived seed share the profile bit for bit).
+//
+// Only the detect.Config fields that BuildProfile actually consumes enter
+// the key — the sampling interval and the MA/EWMA/periodicity geometry.
+// Detection-side knobs (k, H_C, H_P, the zoo's CUSUM/TimeFrag/EWMAVar
+// thresholds) deliberately do not: the ROC tournament sweeps those knobs
+// across dozens of configs per scheme, and keying on the full Config would
+// rebuild the identical 2000-virtual-second profiling pass once per
+// threshold instead of once per (app, seed).
 type profileKey struct {
 	app            string
 	seed           uint64
 	profileSeconds float64
-	cfg            detect.Config
+	params         profileParams
+}
+
+// profileParams is the profile-affecting subset of detect.Config.
+type profileParams struct {
+	tpcm, alpha, periodTolerance float64
+	w, dw                        int
+}
+
+func profileParamsOf(cfg detect.Config) profileParams {
+	return profileParams{
+		tpcm:            cfg.TPCM,
+		alpha:           cfg.Alpha,
+		periodTolerance: cfg.PeriodTolerance,
+		w:               cfg.W,
+		dw:              cfg.DW,
+	}
 }
 
 // profileCache deduplicates Stage-1 profiling across an experiment grid.
@@ -41,7 +65,7 @@ func newProfileCache() *profileCache {
 
 // profile returns the Stage-1 profile for the key, building it at most once.
 func (pc *profileCache) profile(c Config, app string, seed uint64) (detect.Profile, error) {
-	key := profileKey{app: app, seed: seed, profileSeconds: c.ProfileSeconds, cfg: c.Detect}
+	key := profileKey{app: app, seed: seed, profileSeconds: c.ProfileSeconds, params: profileParamsOf(c.Detect)}
 	pc.mu.Lock()
 	e := pc.entries[key]
 	if e == nil {

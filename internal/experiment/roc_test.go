@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/memdos/sds/internal/workload"
+)
+
+// TestROCDeterministicAcrossWorkerCounts asserts the tournament's
+// acceptance criterion: the full curve set is bit-identical at any
+// worker-pool size. A single non-periodic app also pins the lineup rule
+// that periodic-only schemes (SDS/P) are omitted rather than reported
+// with an empty curve.
+func TestROCDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced tournament grid; skipped in -short mode")
+	}
+	base := fastConfig()
+	base.Runs = 1
+	var ref []ROCCurve
+	for _, parallel := range []int{1, 2, 8} {
+		c := base
+		c.Parallel = parallel
+		curves, err := c.ROC([]string{workload.KMeans})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for _, cv := range curves {
+			if cv.Scheme == SchemeSDSP {
+				t.Fatalf("SDS/P curve present for a non-periodic app set")
+			}
+		}
+		if ref == nil {
+			ref = curves
+			continue
+		}
+		if !reflect.DeepEqual(ref, curves) {
+			t.Fatalf("parallel=%d diverges from parallel=1:\n%+v\nvs\n%+v", parallel, curves, ref)
+		}
+	}
+	if len(ref) != len(rocSchemes())-1 {
+		t.Fatalf("got %d curves, want %d (lineup minus SDS/P)", len(ref), len(rocSchemes())-1)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestTrapezoidAUC(t *testing.T) {
+	// No swept points: the (0,0)–(1,1) anchors alone give the chance
+	// diagonal.
+	if got := trapezoidAUC(nil); !almost(got, 0.5) {
+		t.Fatalf("anchors only: AUC = %v, want 0.5", got)
+	}
+	// A perfect point at (0,1) squares off the whole unit area.
+	if got := trapezoidAUC([]ROCPoint{{FPR: 0, TPR: 1}}); !almost(got, 1) {
+		t.Fatalf("perfect point: AUC = %v, want 1", got)
+	}
+	// Points arrive in threshold order, not FPR order; the integral must
+	// sort them. Both orderings of the same two points agree.
+	fwd := trapezoidAUC([]ROCPoint{{FPR: 0.2, TPR: 0.8}, {FPR: 0.6, TPR: 0.9}})
+	rev := trapezoidAUC([]ROCPoint{{FPR: 0.6, TPR: 0.9}, {FPR: 0.2, TPR: 0.8}})
+	if !almost(fwd, rev) {
+		t.Fatalf("order dependence: %v vs %v", fwd, rev)
+	}
+	// Hand integral: (0,0)→(0.2,0.8)→(0.6,0.9)→(1,1):
+	// 0.2·0.4 + 0.4·0.85 + 0.4·0.95 = 0.08 + 0.34 + 0.38 = 0.80.
+	if !almost(fwd, 0.80) {
+		t.Fatalf("AUC = %v, want 0.80", fwd)
+	}
+}
+
+func TestOperatingIndex(t *testing.T) {
+	pts := []ROCPoint{
+		{Threshold: 1, TPR: 0.99, FPR: 0.30}, // over budget
+		{Threshold: 2, TPR: 0.90, FPR: 0.05}, // at budget, best TPR
+		{Threshold: 3, TPR: 0.90, FPR: 0.02}, // tie on TPR, lower FPR wins
+		{Threshold: 4, TPR: 0.90, FPR: 0.02}, // full tie, earlier index wins
+		{Threshold: 5, TPR: 0.40, FPR: 0.00},
+	}
+	if got := operatingIndex(pts, ROCBudgetFPR); got != 2 {
+		t.Fatalf("operatingIndex = %d, want 2", got)
+	}
+	// Nothing within a zero budget except the FPR=0 point.
+	if got := operatingIndex(pts, 0); got != 4 {
+		t.Fatalf("operatingIndex(budget=0) = %d, want 4", got)
+	}
+	// No point qualifies.
+	if got := operatingIndex(pts[:1], ROCBudgetFPR); got != -1 {
+		t.Fatalf("operatingIndex over-budget = %d, want -1", got)
+	}
+	if _, ok := (ROCCurve{Operating: -1, Points: pts}).OperatingPoint(); ok {
+		t.Fatalf("OperatingPoint ok for Operating=-1")
+	}
+	if op, ok := (ROCCurve{Operating: 1, Points: pts}).OperatingPoint(); !ok || op.Threshold != 2 {
+		t.Fatalf("OperatingPoint = %+v, %v; want threshold 2, true", op, ok)
+	}
+}

@@ -20,7 +20,10 @@ type SweepPoint struct {
 // Sweep runs the accuracy experiment for the app at each parameter value,
 // applying the value with apply (which mutates a copy of the SDS config).
 // Both attacks are pooled, as the paper's sensitivity figures do not split
-// them. All (value, attack, run) combinations fan out onto the parallel
+// them. Pooling goes through the shared runPool, whose per-side accounting
+// excludes vacuous statistics: only attack-onset runs feed the recall and
+// delay distributions (every run here has an onset; the guard matters for
+// the ROC tournament, which mixes in Kind None cells). All (value, attack, run) combinations fan out onto the parallel
 // engine together; see Config.Parallel.
 func (c Config) Sweep(app string, values []float64, apply func(*Config, float64) error) ([]SweepPoint, error) {
 	if len(values) == 0 {

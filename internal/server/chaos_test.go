@@ -105,12 +105,14 @@ func TestServerChaosSuite(t *testing.T) {
 		t.Skip("chaos suite replays several full attacked streams")
 	}
 	body, n := attackedStream(t)
-	const hsFmt = "sds/1 vm=%s app=kmeans scheme=sds profile=60"
+	const hsFmt = "sds/1 vm=%s app=kmeans scheme=%s profile=60"
 
 	cases := []struct {
 		vm       string
+		scheme   string // detection scheme ("" = sds)
 		faults   faultinject.Faults
 		hasDone  bool // the client survives to read its done line
+		mayMiss  bool // scheme is structurally unable to alarm on this stream
 		wantDrop int  // records the schedule removes from the stream's tail
 	}{
 		{vm: "clean", faults: faultinject.Faults{}, hasDone: true},
@@ -125,6 +127,18 @@ func TestServerChaosSuite(t *testing.T) {
 		// The write side half-closes at the cut, so the done line (with the
 		// abruptly shortened sample count) still reaches the client.
 		{vm: "eof", faults: faultinject.Faults{SkipLines: 2, DropAfterLines: 12000}, hasDone: true},
+		// The detector zoo rides the same damaged telemetry: each scheme
+		// must quarantine identically and still alarm on the attacked
+		// stream (possibly pre-onset — kmeans phases against a 60 s
+		// profile look suspicious to these detectors, which is fine here;
+		// the suite asserts ingest integrity, not tuning).
+		{vm: "zoo-cusum", scheme: "cusum", faults: faultinject.Faults{Seed: 105, SkipLines: 2, CorruptEvery: 11}, hasDone: true},
+		{vm: "zoo-timefrag", scheme: "timefrag", faults: faultinject.Faults{Seed: 106, SkipLines: 2, TruncateEvery: 47}, hasDone: true},
+		// EWMAVar's post-profile Welford calibration spans 92–142 s of
+		// this stream — across the 100 s onset — so its variance baseline
+		// absorbs the attack and it cannot alarm on this shape at all.
+		// It still rides the suite for ingest integrity under faults.
+		{vm: "zoo-ewmavar", scheme: "ewmavar", faults: faultinject.Faults{Seed: 107, SkipLines: 2, CorruptEvery: 13, PartialWriteMax: 9}, hasDone: true, mayMiss: true},
 	}
 
 	s, addr := startServer(t, Options{ProfileSeconds: 60, BufferSamples: 256})
@@ -136,12 +150,15 @@ func TestServerChaosSuite(t *testing.T) {
 	var wg sync.WaitGroup
 	for i, tc := range cases {
 		wg.Add(1)
-		go func(i int, vm string, f faultinject.Faults) {
+		go func(i int, vm, scheme string, f faultinject.Faults) {
 			defer wg.Done()
-			hs := fmt.Sprintf(hsFmt, vm)
+			if scheme == "" {
+				scheme = "sds"
+			}
+			hs := fmt.Sprintf(hsFmt, vm, scheme)
 			ok, bad := oracleCounts(t, append([]byte(hs+"\n"), body...), f)
 			results[i] = outcome{res: chaosClient(t, addr, hs, body, f), ok: ok, bad: bad}
-		}(i, tc.vm, tc.faults)
+		}(i, tc.vm, tc.scheme, tc.faults)
 	}
 	wg.Wait()
 	// The eof VM's transport dies mid-stream; wait for its handler to finish
@@ -171,7 +188,7 @@ func TestServerChaosSuite(t *testing.T) {
 			t.Errorf("vm %s: quarantined %d lines, oracle says %d", tc.vm, vm.Quarantined, got.bad)
 		}
 		// Every attacked VM that survived past the attack still alarms.
-		if !vm.Alarmed || vm.Alarms == 0 {
+		if !tc.mayMiss && (!vm.Alarmed || vm.Alarms == 0) {
 			t.Errorf("vm %s: attacked stream did not alarm (alarms=%d)", tc.vm, vm.Alarms)
 		}
 		if tc.hasDone {
@@ -184,7 +201,7 @@ func TestServerChaosSuite(t *testing.T) {
 				if got.res.done.samples != got.ok {
 					t.Errorf("vm %s: done reports %d samples, oracle says %d", tc.vm, got.res.done.samples, got.ok)
 				}
-				if got.res.done.alarms == 0 {
+				if !tc.mayMiss && got.res.done.alarms == 0 {
 					t.Errorf("vm %s: done reports no alarms for an attacked stream", tc.vm)
 				}
 			}

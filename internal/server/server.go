@@ -22,7 +22,7 @@ import (
 
 // Handshake is the first line every stream connection must send:
 //
-//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest>] [profile=<seconds>] [frames=<csv|bin>]
+//	sds/1 vm=<id> [app=<name>] [scheme=<sds|sdsb|sdsp|kstest|cusum|timefrag|ewmavar>] [profile=<seconds>] [frames=<csv|bin>]
 //
 // followed by the telemetry stream in the negotiated encoding: feed CSV
 // (`t,access,miss` lines; header and '#' comments allowed — the default)

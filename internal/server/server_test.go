@@ -233,6 +233,79 @@ func TestServerAlarmsOnAttackedStream(t *testing.T) {
 	}
 }
 
+// TestServerZooSchemesAlarmOnAttackedStream runs the detector-zoo schemes
+// end to end over the wire: handshake with scheme=cusum/timefrag/ewmavar,
+// stream an attacked telemetry replay, and require a structurally valid
+// alarm after the attack onset plus a clean done line.
+func TestServerZooSchemesAlarmOnAttackedStream(t *testing.T) {
+	// k-means shifts its mean ±10% every ~150 s; the zoo detectors need a
+	// profile spanning several phases (the experiment pipeline profiles
+	// 2000 s) or the first post-profile phase change reads as an attack.
+	// 500 s covers ≥3 phases.
+	const profileSec = 500
+	cases := []struct {
+		scheme            string
+		seconds, attackAt float64
+	}{
+		{scheme: "cusum", seconds: profileSec + 120, attackAt: profileSec + 60},
+		{scheme: "timefrag", seconds: profileSec + 120, attackAt: profileSec + 60},
+		// EWMAVar self-calibrates for ~82 s of window cadence after the
+		// profile stage (variance burn-in plus Welford calibration) before
+		// it can alarm, so its attack starts later in a longer stream.
+		{scheme: "ewmavar", seconds: profileSec + 180, attackAt: profileSec + 120},
+	}
+	s, addr := startServer(t, Options{})
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			var stream bytes.Buffer
+			n, err := WriteSimulatedStream(&stream, ReplaySpec{
+				App: "kmeans", Seconds: tc.seconds, AttackAt: tc.attackAt, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs := fmt.Sprintf("sds/1 vm=zoo-%s app=kmeans scheme=%s profile=%d", tc.scheme, tc.scheme, profileSec)
+			res := runClient(t, addr, hs, stream.Bytes())
+			if len(res.errorLines) > 0 {
+				t.Fatalf("server errors: %v", res.errorLines)
+			}
+			if res.done == nil || res.done.samples != n {
+				t.Fatalf("done = %+v, want %d samples", res.done, n)
+			}
+			if len(res.alarmLines) == 0 {
+				t.Fatal("no alarm lines for an attacked stream")
+			}
+			// A 60 s profile of a phased app leaves the zoo detectors
+			// prone to pre-onset false alarms at their default knobs (the
+			// ROC tournament quantifies exactly that), so the wire test
+			// requires a well-formed alarm during the attack rather than
+			// a silent pre-onset stage.
+			inAttack := false
+			for _, line := range res.alarmLines {
+				var ev AlarmEvent
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("alarm line is not JSON: %v", err)
+				}
+				if ev.Detector == "" || ev.Reason == "" || ev.T <= 0 {
+					t.Fatalf("implausible alarm event %+v", ev)
+				}
+				if ev.T > tc.attackAt {
+					inAttack = true
+				}
+			}
+			if !inAttack {
+				t.Fatalf("no alarm after the %v s attack onset: %v", tc.attackAt, res.alarmLines)
+			}
+			if res.done.alarms != len(res.alarmLines) {
+				t.Errorf("done reports %d alarms, wire carried %d", res.done.alarms, len(res.alarmLines))
+			}
+		})
+	}
+	if m := s.Metrics(); m.TotalAlarms == 0 {
+		t.Error("ops surface reports zero alarms")
+	}
+}
+
 // TestServerGracefulDrain: samples accepted before Shutdown are all
 // processed — the drain leaves no buffered sample behind.
 func TestServerGracefulDrain(t *testing.T) {

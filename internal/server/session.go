@@ -31,7 +31,8 @@ type StreamSpec struct {
 	VM string
 	// App names the profiled application.
 	App string
-	// Scheme selects the detector: sds, sdsb, sdsp or kstest.
+	// Scheme selects the detector: sds, sdsb, sdsp, kstest, cusum,
+	// timefrag or ewmavar.
 	Scheme string
 	// ProfileSeconds is the leading stream span used as the Stage-1
 	// profile; the VM must be known attack-free during it.
@@ -60,9 +61,9 @@ func (spec *StreamSpec) normalize() error {
 		spec.Scheme = "sds"
 	}
 	switch spec.Scheme {
-	case "sds", "sdsb", "sdsp", "kstest":
+	case "sds", "sdsb", "sdsp", "kstest", "cusum", "timefrag", "ewmavar":
 	default:
-		return fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp or kstest)", spec.Scheme)
+		return fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp, kstest, cusum, timefrag or ewmavar)", spec.Scheme)
 	}
 	if spec.ProfileSeconds <= 0 {
 		return fmt.Errorf("profile window must be positive, got %v", spec.ProfileSeconds)
@@ -345,7 +346,13 @@ func newDetector(spec StreamSpec, prof detect.Profile) (detect.Detector, error) 
 		return detect.NewSDSP(prof, spec.Config)
 	case "kstest":
 		return detect.NewKSTest(spec.KSConfig, nil, spec.KSOptions...)
+	case "cusum":
+		return detect.NewCUSUM(prof, spec.Config)
+	case "timefrag":
+		return detect.NewTimeFrag(prof, spec.Config)
+	case "ewmavar":
+		return detect.NewEWMAVar(prof, spec.Config)
 	default:
-		return nil, fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp or kstest)", spec.Scheme)
+		return nil, fmt.Errorf("unknown scheme %q (want sds, sdsb, sdsp, kstest, cusum, timefrag or ewmavar)", spec.Scheme)
 	}
 }
