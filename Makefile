@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-all bench-scale bench-check cover cover-check chaos goldens verify repro smoke smoke-cloudsim fuzz-smoke clean
+.PHONY: all build test race vet bench bench-all bench-scale bench-check cover cover-check chaos goldens verify repro smoke smoke-cloudsim smoke-evasion fuzz-smoke clean
 
 all: build vet test
 
@@ -26,9 +26,9 @@ race:
 # with the default time budget for stable ns/op. When a scale run has left
 # bench_scale.txt behind (make bench-scale), its sustained-throughput lines
 # are merged into the same trajectory.
-BENCH_PR ?= 9
+BENCH_PR ?= 10
 BENCH_FIGURES := Table1Defaults|Fig|Sec32FalseAlarmRates|Ablation
-BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve|CUSUMObserve|TimeFragObserve|EWMAVarObserve
+BENCH_MICRO := MovingAveragerPush|EWMAPush|FFT|PeriodEstimat|ACFDirect|KSStatistic|KSTestObserve|CacheAccess|ModelSample|SDSObserve|CUSUMObserve|TimeFragObserve|EWMAVarObserve|StrategyIntensity
 # The ns-gated microbenchmarks record -count=3; benchjson keeps the
 # fastest run of each (shared-host interference is one-sided, so the
 # minimum is the low-noise estimator the gate should compare).
@@ -117,14 +117,23 @@ smoke:
 smoke-cloudsim:
 	./scripts/smoke_cloudsim.sh
 
-# Short fuzz pass over the feed parsers — CSV and the binary frame codec
-# (one run per target: go test -fuzz accepts a single match).
+# The evasion-margin grid: run the reduced tournament through the evaluate
+# CLI at two worker counts and assert byte-identical JSON (the determinism
+# half of the golden fixtures' promise).
+smoke-evasion:
+	./scripts/smoke_evasion.sh
+
+# Short fuzz pass over the feed parsers — CSV and the binary frame codec —
+# plus the evasive-schedule composition (Intensity/MeanIntensity must stay
+# finite, clamped and loop-free for arbitrary strategy knobs; one fuzzer
+# counterexample is already pinned in testdata/fuzz).
 fuzz-smoke:
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzParseLine -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzReader -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzRoundTrip -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzBinReader -fuzztime=5s
 	$(GO) test ./internal/feed -run=NONE -fuzz=FuzzBinRoundTrip -fuzztime=5s
+	$(GO) test ./internal/attack -run=NONE -fuzz=FuzzStrategyIntensity -fuzztime=5s
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_scale.txt

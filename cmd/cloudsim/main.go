@@ -31,6 +31,7 @@ func main() {
 		fidelity  = flag.String("fidelity", "", "telemetry fidelity: window or exact (default window)")
 		scheme    = flag.String("scheme", "", `detection scheme (default "SDS")`)
 		attackers = flag.Int("attackers", -1, "attacker VM count (-1 = scenario or hosts/20+1)")
+		strategy  = flag.String("attack-strategy", "", `evasive attacker strategy: steady, duty-cycle, period-mimic, slow-ramp, coordinated or reprofile-timed (default "steady")`)
 		policies  = flag.String("policies", "none,throttle-migrate", "comma-separated mitigation policies to compare")
 		runs      = flag.Int("runs", 3, "repetitions per policy")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
@@ -41,7 +42,7 @@ func main() {
 
 	base, err := loadScenario(*scenario)
 	if err == nil {
-		applyFlags(&base, *hosts, *vms, *seconds, *fidelity, *scheme, *attackers)
+		applyFlags(&base, *hosts, *vms, *seconds, *fidelity, *scheme, *attackers, *strategy)
 		cfg := experiment.DefaultConfig()
 		cfg.Runs = *runs
 		cfg.Seed = *seed
@@ -67,7 +68,7 @@ func loadScenario(path string) (cloudsim.Scenario, error) {
 }
 
 // applyFlags overlays command-line settings onto the scenario.
-func applyFlags(sc *cloudsim.Scenario, hosts, vms int, seconds float64, fidelity, scheme string, attackers int) {
+func applyFlags(sc *cloudsim.Scenario, hosts, vms int, seconds float64, fidelity, scheme string, attackers int, strategy string) {
 	if sc.Hosts == 0 {
 		sc.Hosts = hosts
 	}
@@ -87,6 +88,9 @@ func applyFlags(sc *cloudsim.Scenario, hosts, vms int, seconds float64, fidelity
 		sc.Attackers = attackers
 	} else if sc.Attackers == 0 {
 		sc.Attackers = sc.Hosts/20 + 1
+	}
+	if strategy != "" {
+		sc.AttackStrategy = strategy
 	}
 	if sc.Name == "" {
 		sc.Name = "cloudsim"

@@ -80,14 +80,14 @@ func TestLoadScenarioAndFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	applyFlags(&sc, 100, 0, 0, "", "", -1)
+	applyFlags(&sc, 100, 0, 0, "", "", -1, "")
 	if sc.Hosts != 50 || sc.Seconds != 600 || sc.Attackers != 2 {
 		t.Fatalf("scenario file fields lost: %+v", sc)
 	}
 
 	sc = cloudsim.Scenario{}
-	applyFlags(&sc, 100, 0, 0, "exact", "KStest", -1)
-	if sc.Hosts != 100 || sc.Attackers != 100/20+1 || sc.Fidelity != "exact" || sc.Scheme != "KStest" {
+	applyFlags(&sc, 100, 0, 0, "exact", "KStest", -1, "duty-cycle")
+	if sc.Hosts != 100 || sc.Attackers != 100/20+1 || sc.Fidelity != "exact" || sc.Scheme != "KStest" || sc.AttackStrategy != "duty-cycle" {
 		t.Fatalf("flag defaults not applied: %+v", sc)
 	}
 

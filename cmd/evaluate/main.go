@@ -6,12 +6,13 @@
 //	evaluate -fig12    performance overhead (normalized execution time)
 //	evaluate -table1   the SDS parameters in effect
 //	evaluate -roc      threshold-sweep ROC tournament across all schemes
+//	evaluate -evasion  evasive-strategy tournament: per-scheme evasion margins
 //	evaluate -all      everything
 //
 // The accuracy figures share one experiment pass, so -fig9 -fig10 -fig11
 // together cost the same as any one of them. Use -runs to trade precision
-// for time (the paper uses 20 runs per cell). -json switches the ROC
-// output to machine-readable JSON (curves, points, AUC) for plotting.
+// for time (the paper uses 20 runs per cell). -json switches the ROC and
+// evasion output to machine-readable JSON for plotting.
 package main
 
 import (
@@ -38,7 +39,8 @@ func main() {
 		table1   = flag.Bool("table1", false, "print the SDS parameters (Table 1)")
 		ablate   = flag.Bool("ablation", false, "DFT-only vs ACF-only vs DFT-ACF period estimation (§4.2.2 motivation)")
 		roc      = flag.Bool("roc", false, "threshold-sweep ROC tournament: AUC and budgeted operating point per scheme")
-		jsonOut  = flag.Bool("json", false, "emit the ROC results as JSON instead of tables (only affects -roc)")
+		evasion  = flag.Bool("evasion", false, "evasive-strategy tournament: per-scheme × per-strategy evasion margins at the ROC operating point")
+		jsonOut  = flag.Bool("json", false, "emit the ROC/evasion results as JSON instead of tables (only affects -roc and -evasion)")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		runs     = flag.Int("runs", 20, "runs per cell")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -48,7 +50,7 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *roc || *all) {
+	if !(*fig9 || *fig10 || *fig11 || *fig12 || *table1 || *ablate || *roc || *evasion || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -65,6 +67,7 @@ func main() {
 		table1:   *table1 || *all,
 		ablate:   *ablate || *all,
 		roc:      *roc || *all,
+		evasion:  *evasion || *all,
 		jsonOut:  *jsonOut,
 		runs:     *runs,
 		seed:     *seed,
@@ -84,6 +87,7 @@ func main() {
 type options struct {
 	fig9, fig10, fig11, fig12 bool
 	table1, ablate, roc       bool
+	evasion                   bool
 	jsonOut                   bool
 	runs                      int
 	seed                      uint64
@@ -189,7 +193,77 @@ func run(out io.Writer, opt options) error {
 			return err
 		}
 	}
+
+	if opt.evasion {
+		curves, err := cfg.Evasion(apps)
+		if err != nil {
+			return err
+		}
+		if opt.jsonOut {
+			if err := renderEvasionJSON(out, curves); err != nil {
+				return err
+			}
+		} else if err := renderEvasion(out, curves); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// renderEvasion prints the per-scheme evasion-margin table (one row per
+// scheme × strategy × attack vector) followed by the swept peak points.
+func renderEvasion(out io.Writer, curves []experiment.EvasionCurve) error {
+	summary := experiment.Table{
+		Title: fmt.Sprintf("Evasion tournament — margin = largest undetected peak intensity at the FPR ≤ %.0f%% operating point",
+			100*experiment.ROCBudgetFPR),
+		Header: []string{"scheme", "op", "attack", "strategy", "margin", "det-rate@1.0"},
+	}
+	for _, c := range curves {
+		op := fmt.Sprintf("%s=%g", c.Knob, c.Threshold)
+		if !c.Budgeted {
+			op += " (over budget: min-FPR fallback)"
+		}
+		for _, cell := range c.Cells {
+			summary.AddRow(string(c.Scheme), op, cell.Kind, cell.Strategy,
+				fmt.Sprintf("%.2f", cell.Margin),
+				fmt.Sprintf("%.0f%%", 100*cell.FullRate))
+		}
+	}
+	if err := summary.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	points := experiment.Table{
+		Title:  "Evasion tournament — swept peaks (detections pooled over app × run)",
+		Header: []string{"scheme", "attack", "strategy", "peak", "detected/runs"},
+	}
+	for _, c := range curves {
+		for _, cell := range c.Cells {
+			for _, p := range cell.Points {
+				points.AddRow(string(c.Scheme), cell.Kind, cell.Strategy,
+					fmt.Sprintf("%g", p.Peak),
+					fmt.Sprintf("%d/%d", p.Detected, p.Runs))
+			}
+		}
+	}
+	if err := points.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// renderEvasionJSON emits the evasion curves as indented JSON (stable field
+// order, deterministic at any -parallel).
+func renderEvasionJSON(out io.Writer, curves []experiment.EvasionCurve) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		BudgetFPR float64
+		Peaks     []float64
+		Curves    []experiment.EvasionCurve
+	}{experiment.ROCBudgetFPR, experiment.EvasionPeaks(), curves})
 }
 
 // renderROC prints the tournament summary (AUC and budgeted operating

@@ -71,3 +71,42 @@ func TestROCJSONMatchesGolden(t *testing.T) {
 	}
 	golden.AssertString(t, "testdata/golden/roc_small.json", got.String())
 }
+
+// TestEvasionMatchesGolden pins the evasion-margin grid (equivalent to:
+// evaluate -evasion -runs 2 -apps kmeans,facenet -seed 1). The grid reuses
+// the ROC tournament to pick each scheme's FPR-budgeted operating point and
+// then sweeps every evasive strategy over the peak-intensity ladder, so a
+// drift in either the tournament or the strategy envelopes shows up here as
+// a margin or detection-count diff.
+func TestEvasionMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced evasion grid; skipped in -short mode")
+	}
+	var got strings.Builder
+	err := run(&got, options{
+		evasion: true,
+		runs:    2, seed: 1, apps: "kmeans,facenet", parallel: 0,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden.AssertString(t, "testdata/golden/evasion_small.txt", got.String())
+}
+
+// TestEvasionJSONMatchesGolden pins the -json encoding of the same grid.
+// scripts/smoke_evasion.sh additionally asserts this encoding is
+// byte-identical at -parallel 1 and -parallel 8.
+func TestEvasionJSONMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the reduced evasion grid; skipped in -short mode")
+	}
+	var got strings.Builder
+	err := run(&got, options{
+		evasion: true, jsonOut: true,
+		runs: 2, seed: 1, apps: "kmeans,facenet", parallel: 0,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden.AssertString(t, "testdata/golden/evasion_small.json", got.String())
+}

@@ -68,6 +68,7 @@ type config struct {
 	seconds        float64
 	profileSeconds float64
 	attackAt       float64
+	attackStrategy string // evasive strategy name ("" = steady)
 	seed           uint64 // VM i streams with seed+i
 	expectAlarms   int
 	retries        int
@@ -98,6 +99,7 @@ func main() {
 	flag.StringVar(&cfg.scheme, "scheme", "sds", "detection scheme sent in the handshake")
 	flag.StringVar(&cfg.frames, "frames", framesCSV, "stream encoding: csv or bin")
 	flag.Float64Var(&cfg.attackAt, "attack-at", 0, "start a bus-locking attack at this stream time (0 = none)")
+	flag.StringVar(&cfg.attackStrategy, "attack-strategy", "", "evasive attacker strategy: steady, duty-cycle, period-mimic, slow-ramp, coordinated or reprofile-timed (default steady)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base seed; VM i streams with seed+i")
 	flag.IntVar(&cfg.expectAlarms, "expect-alarms", 0, "fail unless every VM raises at least this many alarms")
 	flag.IntVar(&cfg.retries, "connect-retries", 10, "connection attempts per VM (100ms apart) before giving up")
@@ -502,6 +504,7 @@ func workerArgs(cfg config, i int) []string {
 		"-scheme", cfg.scheme,
 		"-frames", cfg.frames,
 		"-attack-at", fmt.Sprintf("%g", cfg.attackAt),
+		"-attack-strategy", cfg.attackStrategy,
 		"-seed", strconv.FormatUint(cfg.seed, 10),
 		"-expect-alarms", strconv.Itoa(cfg.expectAlarms),
 		"-connect-retries", strconv.Itoa(cfg.retries),
@@ -521,6 +524,7 @@ func spec(cfg config, seed uint64) server.ReplaySpec {
 		App:      cfg.app,
 		Seconds:  cfg.seconds,
 		AttackAt: cfg.attackAt,
+		Strategy: cfg.attackStrategy,
 		Seed:     seed,
 	}
 }

@@ -15,6 +15,7 @@ package attack
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/memdos/sds/internal/workload"
 )
@@ -56,10 +57,32 @@ type Schedule struct {
 	Ramp float64
 	// Stop optionally ends the attack; zero means it runs forever.
 	Stop float64
+	// Peak scales the whole schedule's intensity: the attacker's maximum
+	// effect in [0, 1]. Zero means unset (full intensity 1.0) so existing
+	// schedules keep their meaning; the evasion grid sweeps this knob.
+	Peak float64
+	// Strategy optionally modulates the intensity after the ramp envelope
+	// (see evasive.go); nil is the steady attacker of the paper.
+	Strategy Strategy
 }
 
-// Intensity returns the attack intensity in [0,1] at virtual time t.
-func (s Schedule) Intensity(t float64) float64 {
+// peak returns the effective peak scale: 0 means unset (1.0); NaN and
+// negative values silence the schedule; values above 1 clamp to 1.
+func (s Schedule) peak() float64 {
+	switch {
+	case s.Peak == 0:
+		return 1
+	case math.IsNaN(s.Peak) || s.Peak < 0:
+		return 0
+	case s.Peak > 1:
+		return 1
+	}
+	return s.Peak
+}
+
+// envelope returns the ramp envelope in [0,1] at time t, before strategy
+// modulation and peak scaling.
+func (s Schedule) envelope(t float64) float64 {
 	if s.Kind == None || t < s.Start {
 		return 0
 	}
@@ -76,8 +99,91 @@ func (s Schedule) Intensity(t float64) float64 {
 	return frac
 }
 
+// Intensity returns the attack intensity in [0,1] at virtual time t: the
+// ramp envelope, modulated by the strategy (if any), scaled by the peak.
+// Degenerate strategy knobs are sanitized here so the value is always
+// finite and in range.
+func (s Schedule) Intensity(t float64) float64 {
+	base := s.envelope(t)
+	if base == 0 {
+		return 0
+	}
+	if s.Strategy != nil {
+		base *= sanitizeFactor(s.Strategy.Factor(t - s.Start))
+		if base == 0 {
+			return 0
+		}
+	}
+	return base * s.peak()
+}
+
 // Active reports whether the attack is running (at any intensity) at time t.
 func (s Schedule) Active(t float64) bool { return s.Intensity(t) > 0 }
+
+// MeanIntensity returns the exact mean of Intensity over [a, b]. For a
+// steady schedule the ramp is linear and the plateau constant, so the
+// integral is a trapezoid; with a strategy attached the plateau uses the
+// strategy's analytic MeanFactor and the (short) ramp span falls back to a
+// fixed-step midpoint quadrature. The window-fidelity cloud simulator
+// integrates per-block contention through this.
+func (s Schedule) MeanIntensity(a, b float64) float64 {
+	if s.Kind == None || b <= a {
+		return 0
+	}
+	stop := s.Stop
+	if stop <= 0 {
+		stop = math.Inf(1)
+	}
+	lo := math.Max(a, s.Start)
+	hi := math.Min(b, stop)
+	if hi <= lo {
+		return 0
+	}
+	var area float64
+	if s.Ramp > 0 {
+		if rampEnd := s.Start + s.Ramp; lo < rampEnd {
+			re := math.Min(hi, rampEnd)
+			if s.Strategy == nil {
+				i0 := (lo - s.Start) / s.Ramp
+				i1 := (re - s.Start) / s.Ramp
+				area += (i0 + i1) / 2 * (re - lo)
+			} else {
+				area += s.rampQuad(lo, re)
+			}
+			lo = re
+		}
+	}
+	if hi > lo {
+		if s.Strategy == nil {
+			area += hi - lo
+		} else {
+			area += sanitizeFactor(s.Strategy.MeanFactor(lo-s.Start, hi-s.Start)) * (hi - lo)
+		}
+	}
+	return area / (b - a) * s.peak()
+}
+
+// rampQuadSteps fixes the midpoint-quadrature resolution for strategy-
+// modulated ramp spans: strategy factors are discontinuous (on/off bursts),
+// so the error is dominated by edges at ~jump·span/steps. Ramps are a few
+// seconds against multi-second burst periods; 64 midpoints keep the error
+// well below the block model's own fidelity while staying deterministic.
+const rampQuadSteps = 64
+
+// rampQuad integrates envelope·factor over a span inside the ramp by
+// midpoint quadrature (peak applied by the caller).
+func (s Schedule) rampQuad(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	h := (hi - lo) / rampQuadSteps
+	var sum float64
+	for i := 0; i < rampQuadSteps; i++ {
+		t := lo + (float64(i)+0.5)*h
+		sum += s.envelope(t) * sanitizeFactor(s.Strategy.Factor(t-s.Start))
+	}
+	return sum / rampQuadSteps * (hi - lo)
+}
 
 // Env returns the contention environment a co-located victim experiences at
 // time t. quiesced marks KStest-style execution throttling of all other VMs,

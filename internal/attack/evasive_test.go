@@ -1,0 +1,301 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memdos/sds/internal/randx"
+)
+
+// timeGrid returns deterministic sample times spanning negative offsets,
+// cycle boundaries and long horizons, seeded per test case.
+func timeGrid(seed uint64, n int, span float64) []float64 {
+	rng := randx.Derive(seed, 0xe7a51)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Uniform(-5, span)
+	}
+	return out
+}
+
+// TestCoordinatedSuperposition pins the composition invariant: the
+// coordinated factor equals the sum of its members' factors (the tiling
+// construction keeps the sum in [0, 1], so the min(1, Σ) clamp never
+// engages), and exactly one member is active at any instant inside the
+// attack span.
+func TestCoordinatedSuperposition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		for _, burst := range []float64{0.5, 1.7, 3, 6.5} {
+			c := NewCoordinated(k, burst)
+			members := c.Members()
+			if len(members) != k {
+				t.Fatalf("k=%d burst=%v: %d members", k, burst, len(members))
+			}
+			for _, rel := range timeGrid(uint64(k)<<8|uint64(burst*10), 400, 120) {
+				sum := 0.0
+				for _, m := range members {
+					sum += m.Factor(rel)
+				}
+				if got := c.Factor(rel); got != sum {
+					t.Fatalf("k=%d burst=%v rel=%v: factor %v != member sum %v",
+						k, burst, rel, got, sum)
+				}
+				if sum > 1 {
+					t.Fatalf("k=%d burst=%v rel=%v: member bursts overlap (sum %v)",
+						k, burst, rel, sum)
+				}
+				if rel >= 0 && sum != 1 {
+					t.Fatalf("k=%d burst=%v rel=%v: superposition not continuous (sum %v)",
+						k, burst, rel, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestDutyCycleBelowStreakWindows pins the streak-budget construction: at
+// any (windowStep, H_C) geometry, the number of consecutive MA window
+// boundaries falling inside an on-burst never reaches H_C, and the off
+// span covers the guard so the streak can reset.
+func TestDutyCycleBelowStreakWindows(t *testing.T) {
+	for _, hc := range []int{2, 9, 20, 30, 45} {
+		for _, step := range []float64{0.25, 0.5, 1.0} {
+			d := DutyCycleBelowStreak(step, hc)
+			if d.On <= 0 || d.Off < d.On {
+				t.Fatalf("hc=%d step=%v: degenerate cycle %+v", hc, step, d)
+			}
+			maxRun, run := 0, 0
+			for i := 0; i < 4000; i++ {
+				if d.Factor(float64(i)*step) > 0 {
+					run++
+					if run > maxRun {
+						maxRun = run
+					}
+				} else {
+					run = 0
+				}
+			}
+			// A burst of n window-steps can cover n+1 boundaries.
+			if limit := hc - 1; hc > streakGuardWindows+2 && maxRun > limit {
+				t.Fatalf("hc=%d step=%v: %d consecutive active windows ≥ H_C budget %d",
+					hc, step, maxRun, limit)
+			}
+			if maxRun == 0 {
+				t.Fatalf("hc=%d step=%v: never active", hc, step)
+			}
+		}
+	}
+}
+
+// strategiesUnderTest returns a labelled lineup covering every strategy
+// with healthy and degenerate knobs.
+func strategiesUnderTest() map[string]Strategy {
+	return map[string]Strategy{
+		"duty":            DutyCycle{On: 6.5, Off: 8},
+		"duty-phase":      DutyCycle{On: 2, Off: 3, Phase: 1.3},
+		"duty-always":     DutyCycle{On: 2},
+		"duty-never":      DutyCycle{Off: 3},
+		"mimic":           PeriodMimic{Period: 8.5, Duty: 0.3, Cycles: 1},
+		"mimic-multi":     PeriodMimic{Period: 6, Duty: 0.45, Cycles: 2, Phase: 2},
+		"mimic-zero":      PeriodMimic{},
+		"slow":            SlowRamp{Rise: 150},
+		"slow-zero":       SlowRamp{},
+		"coord":           NewCoordinated(3, 6.5),
+		"coord-one":       NewCoordinated(1, 2),
+		"coord-zero":      NewCoordinated(0, 0),
+		"reprofile":       ReprofileTimed{Every: 120, Quiet: 20},
+		"reprofile-off":   ReprofileTimed{Every: 120, Quiet: 20, Offset: 33},
+		"reprofile-inner": ReprofileTimed{Every: 90, Quiet: 15, Inner: DutyCycle{On: 4, Off: 5}},
+		"reprofile-solid": ReprofileTimed{Every: 120, Quiet: 130},
+		"reprofile-zero":  ReprofileTimed{},
+	}
+}
+
+// TestScheduleMeanIntensityMatchesQuadrature checks every strategy's
+// analytic MeanFactor against dense numeric integration of the composed
+// Schedule.Intensity — the contract the window-fidelity cloud simulator
+// depends on.
+func TestScheduleMeanIntensityMatchesQuadrature(t *testing.T) {
+	for name, st := range strategiesUnderTest() {
+		sched := Schedule{Kind: BusLock, Start: 300, Ramp: 12, Stop: 580, Peak: 0.8, Strategy: st}
+		rng := randx.Derive(0xbead, uint64(len(name)))
+		for trial := 0; trial < 60; trial++ {
+			a := rng.Uniform(250, 600)
+			b := a + rng.Uniform(0.1, 90)
+			got := sched.MeanIntensity(a, b)
+			const steps = 20000
+			sum := 0.0
+			for i := 0; i < steps; i++ {
+				sum += sched.Intensity(a + (float64(i)+0.5)*(b-a)/steps)
+			}
+			want := sum / steps
+			// Windows overlapping the ramp exercise the fixed-step ramp
+			// quadrature, which is approximate by design for discontinuous
+			// factors; plateau windows must match the analytic mean to the
+			// reference quadrature's own resolution.
+			tol := 2e-3
+			if a < sched.Start+sched.Ramp && b > sched.Start {
+				tol = 6e-3
+			}
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%s: MeanIntensity(%v, %v) = %v, quadrature %v", name, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMeanIntensitySteadyUnchanged pins the strategy-free path against the
+// closed-form trapezoid: the cloudsim block model integrated through this
+// arithmetic before it moved here, and its exact-fidelity property rests on
+// it staying bit-identical.
+func TestMeanIntensitySteadyUnchanged(t *testing.T) {
+	s := Schedule{Kind: Cleanse, Start: 100, Ramp: 15, Stop: 400}
+	cases := []struct{ a, b, want float64 }{
+		{0, 100, 0},
+		{100, 115, 0.5},
+		{100, 130, (7.5 + 15) / 30},
+		{115, 200, 1},
+		{390, 410, 0.5},
+		{400, 500, 0},
+	}
+	for _, c := range cases {
+		if got := s.MeanIntensity(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("MeanIntensity(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestScheduleEnvDegenerateBurstsNoNaN is the regression test for the
+// quiesced-path NaN fix: degenerate strategy knobs (zero-duration bursts,
+// zero-length cycles, NaN factors) and a NaN peak must never leak NaN or
+// out-of-range multipliers into the contention environment.
+func TestScheduleEnvDegenerateBurstsNoNaN(t *testing.T) {
+	degenerate := []Strategy{
+		DutyCycle{},
+		DutyCycle{On: 0, Off: 0, Phase: 5},
+		PeriodMimic{},
+		PeriodMimic{Period: math.Inf(1), Duty: 0.5, Cycles: 1},
+		NewCoordinated(0, 0),
+		ReprofileTimed{Every: 10, Quiet: 10},
+		nanStrategy{},
+	}
+	for i, st := range degenerate {
+		for _, peak := range []float64{0, 0.5, 1, 2, -1, math.NaN()} {
+			sched := Schedule{Kind: BusLock, Start: 10, Ramp: 5, Peak: peak, Strategy: st}
+			for _, tt := range []float64{0, 9.999, 10, 12.5, 15, 1e6} {
+				for _, q := range []bool{false, true} {
+					env := sched.Env(tt, q)
+					for _, v := range []float64{env.BusLock, env.Cleanse} {
+						if math.IsNaN(v) || v < 0 || v > 1 {
+							t.Fatalf("strategy %d peak=%v t=%v quiesced=%v: env multiplier %v out of range",
+								i, peak, tt, q, v)
+						}
+					}
+					if q && (env.BusLock != 0 || env.Cleanse != 0) {
+						t.Fatalf("strategy %d: quiesced attacker still attacking: %+v", i, env)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntensityZeroAlloc pins the per-sample intensity path at zero heap
+// allocations for every named strategy: it runs once per telemetry sample
+// on every attacked stream, so a single escape here multiplies into GC
+// pressure across the whole generator plane.
+func TestIntensityZeroAlloc(t *testing.T) {
+	for _, name := range StrategyNames() {
+		st, err := NamedStrategy(name, StrategyParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := Schedule{Kind: BusLock, Start: 300, Ramp: 10, Peak: 0.8, Strategy: st}
+		at := 300.0
+		allocs := testing.AllocsPerRun(1000, func() {
+			sched.Intensity(at)
+			sched.MeanIntensity(at, at+0.5)
+			at += 0.7
+		})
+		if allocs != 0 {
+			t.Errorf("strategy %q: intensity path allocates %.1f per sample, want 0", name, allocs)
+		}
+	}
+}
+
+// nanStrategy models a buggy third-party strategy whose knobs divide by
+// zero; the schedule must sanitize it.
+type nanStrategy struct{}
+
+func (nanStrategy) Name() string                    { return "nan" }
+func (nanStrategy) Factor(float64) float64          { return math.NaN() }
+func (nanStrategy) MeanFactor(_, _ float64) float64 { return math.NaN() }
+
+// TestNamedStrategy pins name round-trips and the tuning knobs that named
+// construction derives from the detector geometry.
+func TestNamedStrategy(t *testing.T) {
+	for _, name := range StrategyNames() {
+		st, err := NamedStrategy(name, StrategyParams{})
+		if err != nil {
+			t.Fatalf("NamedStrategy(%q): %v", name, err)
+		}
+		if name == StrategySteady {
+			if st != nil {
+				t.Fatalf("steady must be nil (unmodulated), got %T", st)
+			}
+			continue
+		}
+		if st == nil || st.Name() != name {
+			t.Fatalf("NamedStrategy(%q) = %v", name, st)
+		}
+	}
+	if _, err := NamedStrategy("warp-core", StrategyParams{}); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	// The duty cycle must duck under the configured streak, not Table 1's.
+	d, err := NamedStrategy(StrategyDutyCycle, StrategyParams{WindowStep: 0.5, HC: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc := d.(DutyCycle); dc.On != float64(45-1-streakGuardWindows)*0.5 {
+		t.Fatalf("duty cycle not tuned to H_C=45: %+v", dc)
+	}
+	// The mimic must phase-lock to the victim period passed in.
+	m, err := NamedStrategy(StrategyPeriodMimic, StrategyParams{VictimPeriod: 8.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm := m.(PeriodMimic); pm.Period != 8.5 || !pm.Estimated || pm.Cycles != 1 {
+		t.Fatalf("mimic not locked to victim period: %+v", pm)
+	}
+}
+
+// TestEstimateVictimPeriod checks the estimator-backed mimic construction
+// recovers a planted period from MA telemetry and falls back cleanly on
+// noise-free short traces.
+func TestEstimateVictimPeriod(t *testing.T) {
+	const step = 0.5
+	rng := randx.Derive(7, 7)
+	ma := make([]float64, 400)
+	for i := range ma {
+		tt := float64(i) * step
+		ma[i] = 100 + 12*math.Sin(2*math.Pi*tt/8.5) + rng.Uniform(-1, 1)
+	}
+	sec, ok := EstimateVictimPeriod(ma, step)
+	if !ok {
+		t.Fatal("planted 8.5 s period not found")
+	}
+	if math.Abs(sec-8.5) > 1.0 {
+		t.Fatalf("estimated period %v s, want ≈ 8.5", sec)
+	}
+	m := MimicVictim(ma, step, 0.3, 0.5, 30)
+	if !m.Estimated || math.Abs(m.Period-sec) > 1e-9 {
+		t.Fatalf("MimicVictim not estimator-backed: %+v", m)
+	}
+	if m.Duty*m.Period > DutyCycleBelowStreak(0.5, 30).On+1e-9 {
+		t.Fatalf("mimic burst %v s exceeds streak budget", m.Duty*m.Period)
+	}
+	if _, ok := EstimateVictimPeriod(ma[:4], step); ok {
+		t.Fatal("short trace must fall back")
+	}
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStrategyIntensity drives every strategy with random knobs and time
+// points and checks the schedule-composition contract: intensity is always
+// finite, inside [0, peak-clamped max], Active agrees with Intensity > 0,
+// and the analytic window means stay in range. Degenerate knobs (zero,
+// negative, Inf, NaN) must sanitize, never trap or leak NaN.
+func FuzzStrategyIntensity(f *testing.F) {
+	f.Add(6.5, 8.0, 0.3, 3, 120.0, 20.0, 0.8, 350.0, 12.0)
+	f.Add(0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-1.0, math.Inf(1), 1.5, -2, 10.0, 10.0, -0.5, 299.5, 0.25)
+	f.Add(math.NaN(), 1.0, 0.9, 100, math.NaN(), 5.0, 2.0, 600.0, 90.0)
+	f.Fuzz(func(t *testing.T, on, off, duty float64, k int, every, quiet, peak, at, span float64) {
+		if k < -1000 || k > 1000 {
+			k %= 1000 // keep NewCoordinated's member slice bounded
+		}
+		strategies := []Strategy{
+			nil,
+			DutyCycle{On: on, Off: off, Phase: duty},
+			PeriodMimic{Period: on, Duty: duty, Cycles: k, Phase: off},
+			SlowRamp{Rise: on},
+			NewCoordinated(k, on),
+			ReprofileTimed{Every: every, Quiet: quiet, Offset: duty,
+				Inner: DutyCycle{On: on, Off: off}},
+		}
+		for i, st := range strategies {
+			sched := Schedule{Kind: BusLock, Start: 300, Ramp: 12, Stop: 600,
+				Peak: peak, Strategy: st}
+			if !math.IsNaN(at) && !math.IsInf(at, 0) {
+				v := sched.Intensity(at)
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					t.Fatalf("strategy %d: Intensity(%v) = %v out of [0, 1]", i, at, v)
+				}
+				if sched.Active(at) != (v > 0) {
+					t.Fatalf("strategy %d: Active(%v) disagrees with Intensity %v", i, at, v)
+				}
+				env := sched.Env(at, false)
+				if math.IsNaN(env.BusLock) || env.BusLock != v {
+					t.Fatalf("strategy %d: Env multiplier %v != intensity %v", i, env.BusLock, v)
+				}
+				if !math.IsNaN(span) && !math.IsInf(span, 0) && span > 0 && span < 1e9 {
+					m := sched.MeanIntensity(at, at+span)
+					if math.IsNaN(m) || m < 0 || m > 1 {
+						t.Fatalf("strategy %d: MeanIntensity(%v, %v) = %v out of [0, 1]",
+							i, at, at+span, m)
+					}
+				}
+			}
+		}
+	})
+}

@@ -195,9 +195,15 @@ func waveMean(pos, span float64) float64 {
 }
 
 // meanIntensity returns the exact mean of a schedule's intensity over
-// [a, b]: the ramp is linear and the plateau constant, so the integral is a
-// trapezoid.
-func meanIntensity(s attack.Schedule, a, b float64) float64 {
+// [a, b]. Strategy-modulated or peak-scaled schedules integrate through the
+// shared Schedule.MeanIntensity composition; the steady trapezoid stays
+// inlined here on a pointer receiver — it runs once per VM per block step,
+// where the schedule copy and the composition's strategy branches are
+// measurable (BenchmarkBlockModelStep gates this path).
+func meanIntensity(s *attack.Schedule, a, b float64) float64 {
+	if s.Strategy != nil || s.Peak != 0 {
+		return s.MeanIntensity(a, b)
+	}
 	if s.Kind == attack.None || b <= a {
 		return 0
 	}

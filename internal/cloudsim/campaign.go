@@ -56,12 +56,38 @@ func (e *engine) handlePlace(a *vm, now float64) {
 	if ramp == 0 {
 		ramp = e.campRng.Uniform(e.sc.RampMin, e.sc.RampMax)
 	}
-	a.sched = attack.Schedule{Kind: a.kind, Start: a.nextStart, Ramp: ramp}
+	a.sched = attack.Schedule{Kind: a.kind, Start: a.nextStart, Ramp: ramp,
+		Strategy: e.attackStrategy(tgt)}
 	a.attacking = true
 	a.episodeStart = a.nextStart
 	if e.sc.DwellMean > 0 {
 		e.push(event{tick: e.tickFor(now + e.campRng.Exp(e.sc.DwellMean)), kind: evHop, host: -1, vm: int32(a.id)})
 	}
+}
+
+// attackStrategy builds the scenario's evasive strategy for an episode
+// against the given target: the duty cycle is tuned against the configured
+// detector's streak geometry, and the period mimic phase-locks to the
+// target's profiled period (the attacker is assumed to have profiled its
+// victim — the strongest adversary). Pure in the engine's random streams,
+// so attaching a strategy never perturbs placement or churn draws.
+func (e *engine) attackStrategy(tgt *vm) attack.Strategy {
+	name := e.sc.AttackStrategy
+	if name == "" || name == attack.StrategySteady {
+		return nil
+	}
+	params := attack.StrategyParams{
+		WindowStep: float64(e.sc.Detect.DW) * e.sc.Detect.TPCM,
+		HC:         e.sc.Detect.HC,
+	}
+	if tgt.prof.Periodic {
+		params.VictimPeriod = tgt.prof.PeriodSec
+	}
+	st, err := attack.NamedStrategy(name, params)
+	if err != nil {
+		return nil // scenario validation rejects unknown names before here
+	}
+	return st
 }
 
 // handleHop ends an attacker's dwell on its current host mid-campaign: it

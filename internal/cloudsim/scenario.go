@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/memdos/sds/internal/attack"
 	"github.com/memdos/sds/internal/detect"
 	"github.com/memdos/sds/internal/pcm"
 	"github.com/memdos/sds/internal/workload"
@@ -99,6 +100,11 @@ type Scenario struct {
 	Attackers int `json:"attackers,omitempty"`
 	// AttackKind selects their attack (default AttackMixed).
 	AttackKind string `json:"attack_kind,omitempty"`
+	// AttackStrategy selects the attackers' evasive strategy by name
+	// (attack.StrategyNames; default "steady"). Strategies are tuned per
+	// placement against the configured detector geometry and the target
+	// victim's profiled period.
+	AttackStrategy string `json:"attack_strategy,omitempty"`
 	// AttackStart is the virtual time of the first co-location (default 60).
 	AttackStart float64 `json:"attack_start,omitempty"`
 	// AttackRamp fixes the attacker ramp-up; 0 draws it per placement from
@@ -246,6 +252,9 @@ func (s Scenario) validate() error {
 	case AttackBusLock, AttackCleanse, AttackMixed:
 	default:
 		return fmt.Errorf("cloudsim: unknown attack kind %q", s.AttackKind)
+	}
+	if _, err := attack.NamedStrategy(s.AttackStrategy, attack.StrategyParams{}); err != nil {
+		return err
 	}
 	if err := s.Detect.Validate(); err != nil {
 		return err

@@ -163,7 +163,7 @@ func (h *host) envOver(t0, t1 float64) (bus, cleanse float64) {
 		if v.role != roleAttacker || v.paused {
 			continue
 		}
-		i := meanIntensity(v.sched, t0, t1)
+		i := meanIntensity(&v.sched, t0, t1)
 		switch {
 		case v.sched.Kind == attack.BusLock && i > bus:
 			bus = i

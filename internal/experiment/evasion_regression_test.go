@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/memdos/sds/internal/attack"
+)
+
+// The strategy-vs-scheme regression suite: each test pins an evasion at
+// Table 1 parameters that a pre-zoo, SDS-only deployment cannot see, and
+// the zoo detector that closes the gap. Substituting the catching scheme
+// with SDS/B (the single-scheme baseline) makes each test fail — that
+// asymmetry is the point.
+
+// evasionRate runs the strategy against the scheme over facenet with the
+// given config and returns detected runs out of total.
+func evasionRate(t *testing.T, cfg Config, scheme Scheme, strategy string, peak float64) (detected, total int) {
+	t.Helper()
+	for run := 0; run < cfg.Runs; run++ {
+		out, err := cfg.evasionRun("facenet", attack.BusLock, scheme, run, strategy, peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if out.Detected {
+			detected++
+		}
+	}
+	return detected, total
+}
+
+func regressionConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Runs = 4
+	cfg.Seed = 1
+	return cfg
+}
+
+// TestDutyCycleEvadesSDSBCaughtByTimeFrag: a full-intensity duty cycle
+// tuned below the H_C=30 streak never trips SDS/B — every pause resets the
+// consecutive-violation counter — while TimeFrag's windowed suspicion
+// density accumulates the same bursts and catches every run. The steady
+// attacker control shows SDS/B is not simply blind.
+func TestDutyCycleEvadesSDSBCaughtByTimeFrag(t *testing.T) {
+	cfg := regressionConfig()
+	if det, n := evasionRate(t, cfg, SchemeSDSB, attack.StrategySteady, 1); det != n {
+		t.Fatalf("control: SDS/B caught steady attack in %d/%d runs, want all", det, n)
+	}
+	if det, n := evasionRate(t, cfg, SchemeSDSB, attack.StrategyDutyCycle, 1); det != 0 {
+		t.Errorf("SDS/B caught the duty-cycled attack in %d/%d runs; the streak reset evasion regressed", det, n)
+	}
+	if det, n := evasionRate(t, cfg, SchemeTimeFrag, attack.StrategyDutyCycle, 1); det < n-1 {
+		t.Errorf("TimeFrag caught the duty-cycled attack in only %d/%d runs", det, n)
+	}
+}
+
+// TestPeriodMimicEvadesSDSP: a plain duty cycle plants its own spectral
+// line, so SDS/P still catches it as a period anomaly; phase-locking the
+// bursts to the victim's estimated period removes that line and collapses
+// SDS/P's detection rate, while SDS/B remains as blind to the mimic as to
+// any below-streak burst train.
+func TestPeriodMimicEvadesSDSP(t *testing.T) {
+	cfg := regressionConfig()
+	if det, n := evasionRate(t, cfg, SchemeSDSP, attack.StrategyDutyCycle, 1); det < n-1 {
+		t.Fatalf("control: SDS/P caught the un-locked duty cycle in only %d/%d runs", det, n)
+	}
+	if det, n := evasionRate(t, cfg, SchemeSDSP, attack.StrategyPeriodMimic, 1); det > 1 {
+		t.Errorf("SDS/P caught the period-locked mimic in %d/%d runs; phase-locking evasion regressed", det, n)
+	}
+	if det, n := evasionRate(t, cfg, SchemeSDSB, attack.StrategyPeriodMimic, 1); det > 1 {
+		t.Errorf("SDS/B caught the period-locked mimic in %d/%d runs; its bursts exceed the streak budget", det, n)
+	}
+}
+
+// TestSlowRampSubBandTripsCUSUM: a slow ramp to a sub-band plateau (the
+// mean shift stays inside μ±kσ_E, the Chebyshev per-window bound's
+// operating regime) never produces an SDS/B violation streak, but CUSUM
+// with the classical half-shift slack accumulates the persistent drift and
+// trips on every run.
+func TestSlowRampSubBandTripsCUSUM(t *testing.T) {
+	cfg := regressionConfig()
+	cfg.Detect.CusumK = 0.5
+	const subBandPeak = 0.125
+	if det, n := evasionRate(t, cfg, SchemeSDSB, attack.StrategySlowRamp, subBandPeak); det != 0 {
+		t.Errorf("SDS/B caught the sub-band slow ramp in %d/%d runs; peak %v is no longer sub-band",
+			det, n, subBandPeak)
+	}
+	if det, n := evasionRate(t, cfg, SchemeCUSUM, attack.StrategySlowRamp, subBandPeak); det < n-1 {
+		t.Errorf("CUSUM caught the sub-band slow ramp in only %d/%d runs", det, n)
+	}
+}

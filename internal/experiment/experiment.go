@@ -202,6 +202,17 @@ func (c Config) BuildDetector(app string, scheme Scheme, seed uint64) (detect.Pr
 // detector observing PCM samples in real time. It returns the epoch-scored
 // outcome.
 func (c Config) DetectionRun(app string, kind attack.Kind, scheme Scheme, run int) (metrics.Outcome, error) {
+	return c.detectionRun(app, kind, scheme, run, nil)
+}
+
+// detectionRun is DetectionRun with an optional schedule modifier: mod runs
+// after the attack schedule is drawn (and consumes no run randomness, so
+// modified runs share the unmodified runs' sample paths exactly) with the
+// Stage-1 profile in scope — the evasion grid uses it to attach adaptive
+// strategies tuned against the victim's profiled period and the detector's
+// window geometry.
+func (c Config) detectionRun(app string, kind attack.Kind, scheme Scheme, run int,
+	mod func(prof detect.Profile, sched attack.Schedule) (attack.Schedule, error)) (metrics.Outcome, error) {
 	if err := c.Validate(); err != nil {
 		return metrics.Outcome{}, err
 	}
@@ -227,6 +238,13 @@ func (c Config) DetectionRun(app string, kind attack.Kind, scheme Scheme, run in
 		Kind:  kind,
 		Start: c.StageSeconds,
 		Ramp:  runRng.Uniform(c.RampMin, c.RampMax),
+	}
+	if mod != nil {
+		// By-value in and out: handing mod a *Schedule would make sched
+		// escape to the heap on every detection run, modified or not.
+		if sched, err = mod(prof, sched); err != nil {
+			return metrics.Outcome{}, err
+		}
 	}
 
 	tpcm := c.Detect.TPCM

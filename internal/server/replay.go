@@ -27,6 +27,12 @@ type ReplaySpec struct {
 	// Ramp is the attacker's probe/ramp-up span in seconds; negative
 	// means instant full intensity, zero means the 10 s default.
 	Ramp float64
+	// Strategy names an evasive attacker strategy (attack.StrategyNames;
+	// "" = steady). The strategy is tuned against the Table 1 detector
+	// geometry and, for period-mimicking, the app's profiled period —
+	// wire-level replays then carry the same evasive envelopes the
+	// experiment plane scores.
+	Strategy string
 	// Seed derives the deterministic telemetry stream.
 	Seed uint64
 	// TPCM is the sampling interval (0 = the Table 1 default).
@@ -49,6 +55,10 @@ func simulateStream(spec ReplaySpec, emit func(pcm.Sample) error) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	tpcm := spec.TPCM
+	if tpcm <= 0 {
+		tpcm = detect.DefaultConfig().TPCM
+	}
 	sched := attack.Schedule{}
 	if spec.AttackAt > 0 {
 		kind := spec.AttackKind
@@ -62,11 +72,19 @@ func simulateStream(spec ReplaySpec, emit func(pcm.Sample) error) (int, error) {
 		case ramp < 0:
 			ramp = 0
 		}
-		sched = attack.Schedule{Kind: kind, Start: spec.AttackAt, Ramp: ramp}
-	}
-	tpcm := spec.TPCM
-	if tpcm <= 0 {
-		tpcm = detect.DefaultConfig().TPCM
+		dcfg := detect.DefaultConfig()
+		params := attack.StrategyParams{
+			WindowStep: float64(dcfg.DW) * tpcm,
+			HC:         dcfg.HC,
+		}
+		if prof.Periodic {
+			params.VictimPeriod = prof.PeriodSec
+		}
+		strategy, err := attack.NamedStrategy(spec.Strategy, params)
+		if err != nil {
+			return 0, err
+		}
+		sched = attack.Schedule{Kind: kind, Start: spec.AttackAt, Ramp: ramp, Strategy: strategy}
 	}
 	n := pcm.SampleCount(spec.Seconds, tpcm)
 	for i := 0; i < n; i++ {

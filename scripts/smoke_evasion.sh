@@ -1,0 +1,44 @@
+#!/bin/sh
+# Smoke-test the evasion-margin tournament end to end: build the evaluate
+# CLI, run a reduced strategy × scheme grid at -parallel 1 and -parallel 8,
+# and assert the JSON outputs are byte-identical. The golden fixtures pin
+# the numbers across commits; this pins the other half of the promise —
+# that the fan-out order never leaks into the results at any worker count.
+set -eu
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/evaluate" ./cmd/evaluate
+
+"$tmp/evaluate" -evasion -json -runs 1 -seed 1 -apps facenet \
+    -parallel 1 >"$tmp/p1.json" || {
+    echo "smoke-evasion: serial run failed" >&2
+    cat "$tmp/p1.json" >&2
+    exit 1
+}
+"$tmp/evaluate" -evasion -json -runs 1 -seed 1 -apps facenet \
+    -parallel 8 >"$tmp/p8.json" || {
+    echo "smoke-evasion: parallel run failed" >&2
+    cat "$tmp/p8.json" >&2
+    exit 1
+}
+
+cmp -s "$tmp/p1.json" "$tmp/p8.json" || {
+    echo "smoke-evasion: JSON differs between -parallel 1 and -parallel 8" >&2
+    diff "$tmp/p1.json" "$tmp/p8.json" >&2 || true
+    exit 1
+}
+
+# Every strategy of the suite must appear in the grid, and the steady
+# baseline must be detected at full intensity somewhere (the tournament is
+# scoring real detections, not an empty grid).
+for s in steady duty-cycle period-mimic slow-ramp coordinated reprofile-timed; do
+    grep -q "\"Strategy\": \"$s\"" "$tmp/p1.json" || {
+        echo "smoke-evasion: strategy $s missing from the grid" >&2
+        exit 1
+    }
+done
+
+echo "smoke-evasion: ok"
